@@ -1,0 +1,127 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation (DESIGN.md's per-experiment index). Each bench executes
+// the full experiment — compile + run sweeps across the platform
+// simulators — so `go test -bench=. -benchmem` reproduces the complete
+// artifact; the printed tables come from `go run ./cmd/dabench
+// experiments`.
+//
+// Ablation benches at the bottom measure the design choices DESIGN.md
+// calls out: RDU operator fusion (O1 vs O0), WSE elastic allocation
+// (deep vs shallow shrink-to-fit), and IPU layer-balance quality.
+package dabench_test
+
+import (
+	"testing"
+
+	dabench "dabench"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := dabench.RunExperiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "figure6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "figure7") }
+func BenchmarkTableII(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "figure9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+func BenchmarkTableIII(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "figure11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "figure12") }
+func BenchmarkTableIV(b *testing.B)  { benchExperiment(b, "table4") }
+
+// BenchmarkAblationRDUFusion compares O1 (fused) against O0
+// (per-operator sections): the fusion design choice behind the paper's
+// O1-vs-O0 TFLOPs gap.
+func BenchmarkAblationRDUFusion(b *testing.B) {
+	spec := dabench.TrainSpec{
+		Model: dabench.GPT2Small().WithLayers(24), Batch: 4, Seq: 1024,
+		Precision: dabench.BF16,
+	}
+	for _, mode := range []struct {
+		name string
+		m    dabench.Parallelism
+	}{{"O0", dabench.Parallelism{Mode: dabench.ModeO0}}, {"O1", dabench.Parallelism{Mode: dabench.ModeO1}}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := spec
+			s.Par = mode.m
+			p := dabench.NewRDU()
+			var tf float64
+			for i := 0; i < b.N; i++ {
+				prof, err := dabench.Profile(p, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tf = prof.Run.Achieved.TFLOPS()
+			}
+			b.ReportMetric(tf, "TFLOPs")
+		})
+	}
+}
+
+// BenchmarkAblationWSEElastic contrasts a shallow graph (no
+// shrink-to-fit) against a deep one (elastic shrink active).
+func BenchmarkAblationWSEElastic(b *testing.B) {
+	for _, layers := range []int{6, 48} {
+		name := "shallow-no-shrink"
+		if layers > 12 {
+			name = "deep-elastic-shrink"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := dabench.NewWSE()
+			spec := dabench.TrainSpec{
+				Model: dabench.GPT2Small().WithLayers(layers), Batch: 512, Seq: 1024,
+				Precision: dabench.FP16,
+			}
+			var alloc float64
+			for i := 0; i < b.N; i++ {
+				prof, err := dabench.Profile(p, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				alloc = prof.Allocation["PE"]
+			}
+			b.ReportMetric(100*alloc, "PE%")
+		})
+	}
+}
+
+// BenchmarkAblationIPUBalance contrasts balanced against skewed layer
+// assignments at identical total depth.
+func BenchmarkAblationIPUBalance(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		assign []int
+	}{{"balanced", []int{2, 2, 2}}, {"skewed", []int{4, 1, 1}}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := dabench.NewIPU()
+			spec := dabench.TrainSpec{
+				Model: dabench.GPT2Small().WithLayers(6), Batch: 2048, Seq: 1024,
+				Precision: dabench.FP16,
+				Par: dabench.Parallelism{
+					PipelineParallel: len(cfg.assign) + 1, LayerAssignment: cfg.assign,
+				},
+			}
+			var sps float64
+			for i := 0; i < b.N; i++ {
+				prof, err := dabench.Profile(p, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sps = prof.Run.SamplesPerSec
+			}
+			b.ReportMetric(sps, "samples/s")
+		})
+	}
+}

@@ -1,0 +1,186 @@
+// Command dabench runs the DABench-LLM benchmarking framework from the
+// command line: Tier-1 profiles, Tier-2 sweeps, and the reproduction of
+// every table and figure in the paper.
+//
+// Usage:
+//
+//	dabench experiments [id ...]     reproduce paper tables/figures (default: all)
+//	dabench profile -platform wse -model gpt2-small [-layers N] [-batch B]
+//	dabench list                     list platforms, models and experiment IDs
+//
+// Add -csv to print CSV instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dabench/internal/core"
+	"dabench/internal/experiments"
+	"dabench/internal/model"
+	"dabench/internal/platform"
+	"dabench/internal/precision"
+	"dabench/internal/report"
+	"dabench/internal/trace"
+
+	dabench "dabench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		args = []string{"experiments"}
+	}
+	switch args[0] {
+	case "experiments":
+		return runExperiments(args[1:])
+	case "profile":
+		return runProfile(args[1:])
+	case "list":
+		return runList()
+	case "-h", "--help", "help":
+		fmt.Println("usage: dabench {experiments [id ...] | profile [flags] | list}")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try: experiments, profile, list)", args[0])
+	}
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV")
+	traceOut := fs.String("trace", "", "append raw measurement records (JSON lines) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	var tw *trace.Writer
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+	}
+	all := experiments.All()
+	for _, id := range ids {
+		runner, ok := all[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (valid: %s)", id, strings.Join(experiments.IDs(), ", "))
+		}
+		res, err := runner()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range res.Tables {
+			var werr error
+			if *csv {
+				werr = t.WriteCSV(os.Stdout)
+			} else {
+				werr = t.WriteText(os.Stdout)
+			}
+			if werr != nil {
+				return werr
+			}
+		}
+		if tw != nil {
+			for _, rec := range res.Trace {
+				if err := tw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	plat := fs.String("platform", "wse", "wse | rdu | ipu | gpu")
+	mdl := fs.String("model", "gpt2-small", "model preset name")
+	layers := fs.Int("layers", 0, "override layer count")
+	batch := fs.Int("batch", 512, "batch size")
+	seq := fs.Int("seq", 1024, "sequence length")
+	prec := fs.String("precision", "FP16", "FP32 | FP16 | BF16 | CB16 | Mixed")
+	mode := fs.String("mode", "", "RDU compile mode: O0 | O1 | O3")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := pickPlatform(*plat)
+	if err != nil {
+		return err
+	}
+	cfg, ok := model.ByName(*mdl)
+	if !ok {
+		return fmt.Errorf("unknown model %q (try: dabench list)", *mdl)
+	}
+	if *layers > 0 {
+		cfg = cfg.WithLayers(*layers)
+	}
+	f, err := precision.Parse(*prec)
+	if err != nil {
+		return err
+	}
+	spec := platform.TrainSpec{Model: cfg, Batch: *batch, Seq: *seq, Precision: f}
+	switch strings.ToUpper(*mode) {
+	case "O0":
+		spec.Par.Mode = platform.ModeO0
+	case "O1":
+		spec.Par.Mode = platform.ModeO1
+	case "O3":
+		spec.Par.Mode = platform.ModeO3
+	case "":
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	prof, err := core.Profile(p, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(prof.Summary())
+	tbl := report.New("Insights", "#", "Finding")
+	for i, ins := range prof.Insights {
+		tbl.Add(fmt.Sprint(i+1), ins)
+	}
+	return tbl.WriteText(os.Stdout)
+}
+
+func pickPlatform(name string) (platform.Platform, error) {
+	switch strings.ToLower(name) {
+	case "wse", "wse-2", "cerebras":
+		return dabench.NewWSE(), nil
+	case "rdu", "sn30", "sambanova":
+		return dabench.NewRDU(), nil
+	case "ipu", "bow", "graphcore":
+		return dabench.NewIPU(), nil
+	case "gpu", "a100":
+		return dabench.NewGPU(), nil
+	default:
+		return nil, fmt.Errorf("unknown platform %q", name)
+	}
+}
+
+func runList() error {
+	fmt.Println("platforms: wse, rdu, ipu, gpu")
+	fmt.Print("models:")
+	for _, m := range model.Presets() {
+		fmt.Printf(" %s", m.Name)
+	}
+	fmt.Println()
+	fmt.Println("experiments:", strings.Join(experiments.IDs(), ", "))
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestRunProfile(t *testing.T) {
+	args := []string{"profile", "-platform", "rdu", "-model", "gpt2-small",
+		"-layers", "8", "-batch", "4", "-precision", "bf16", "-mode", "O3"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"profile", "-platform", "nope"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if err := run([]string{"profile", "-model", "nope"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"profile", "-precision", "int4"}); err == nil {
+		t.Error("unknown precision accepted")
+	}
+	if err := run([]string{"profile", "-platform", "rdu", "-mode", "O7"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunExperimentsSelection(t *testing.T) {
+	if err := run([]string{"experiments", "table4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"experiments", "-csv", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"experiments", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestHelpAndDefault(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickPlatformAliases(t *testing.T) {
+	for _, name := range []string{"wse", "cerebras", "rdu", "sambanova", "ipu", "graphcore", "gpu", "a100"} {
+		if _, err := pickPlatform(name); err != nil {
+			t.Errorf("alias %q rejected: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package dabench_test
+
+import (
+	"testing"
+
+	dabench "dabench"
+)
+
+func TestFacadeProfileAllPlatforms(t *testing.T) {
+	specs := map[string]dabench.TrainSpec{
+		"WSE-2": {Model: dabench.GPT2Small(), Batch: 512, Seq: 1024, Precision: dabench.FP16},
+		"RDU": {Model: dabench.GPT2Small(), Batch: 4, Seq: 1024, Precision: dabench.BF16,
+			Par: dabench.Parallelism{Mode: dabench.ModeO1}},
+		"IPU": {Model: dabench.GPT2Small().WithLayers(4), Batch: 1024, Seq: 1024, Precision: dabench.FP16},
+		"GPU": {Model: dabench.GPT2XL(), Batch: 64, Seq: 1024, Precision: dabench.BF16,
+			Par: dabench.Parallelism{TensorParallel: 8}},
+	}
+	for _, p := range dabench.Platforms() {
+		spec, ok := specs[p.Name()]
+		if !ok {
+			t.Fatalf("no spec for %s", p.Name())
+		}
+		prof, err := dabench.Profile(p, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if prof.Run.TokensPerSec <= 0 || prof.LI <= 0 || prof.LI > 1 {
+			t.Errorf("%s: degenerate profile %s", p.Name(), prof.Summary())
+		}
+		if len(prof.Insights) == 0 {
+			t.Errorf("%s: no insights produced", p.Name())
+		}
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := dabench.ExperimentIDs()
+	if len(ids) != 11 {
+		t.Fatalf("expected 11 paper artifacts, got %d", len(ids))
+	}
+	if _, err := dabench.RunExperiment("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Spot-check one cheap experiment end to end.
+	res, err := dabench.RunExperiment("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || len(res.Trace) == 0 {
+		t.Error("table4 produced no output")
+	}
+}
+
+func TestFacadeDeployment(t *testing.T) {
+	rep, err := dabench.Deployment(dabench.NewWSE(),
+		dabench.TrainSpec{Model: dabench.GPT2Small(), Batch: 1, Seq: 1024, Precision: dabench.FP16},
+		[]int{50, 200, 800},
+		[]dabench.Format{dabench.FP16, dabench.CB16},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestPrecision != dabench.CB16 {
+		t.Errorf("best WSE precision = %v, want CB16", rep.BestPrecision)
+	}
+	if rep.BestBatch != 800 {
+		t.Errorf("best batch = %v, want 800", rep.BestBatch)
+	}
+	if len(rep.Recommendations) == 0 {
+		t.Error("no recommendations")
+	}
+}
+
+func TestFacadeScalability(t *testing.T) {
+	pts, err := dabench.Scalability(dabench.NewRDU(),
+		dabench.TrainSpec{Model: dabench.LLaMA2_7B(), Batch: 8, Seq: 4096, Precision: dabench.BF16},
+		[]dabench.Parallelism{
+			{Mode: dabench.ModeO1, TensorParallel: 2},
+			{Mode: dabench.ModeO1, TensorParallel: 4},
+		},
+		[]string{"TP2", "TP4"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].TokensPerSec <= pts[1].TokensPerSec {
+		t.Errorf("TP2 should beat TP4 cross-machine: %+v", pts)
+	}
+	// A 70B model at TP1 is a recorded failure, not an error.
+	fail, err := dabench.Scalability(dabench.NewRDU(),
+		dabench.TrainSpec{Model: dabench.LLaMA2_70B(), Batch: 1, Seq: 4096, Precision: dabench.BF16},
+		[]dabench.Parallelism{{Mode: dabench.ModeO1, TensorParallel: 1}},
+		[]string{"TP1"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fail[0].Failed {
+		t.Error("70B at TP1 should be a placement failure")
+	}
+}

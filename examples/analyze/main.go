@@ -1,0 +1,62 @@
+// Analyze demonstrates the artifact's measurement-log workflow (the
+// paper's ana.py): run experiments, stream raw measurement records to a
+// JSON-lines file, read them back, and print aggregate summaries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	dabench "dabench"
+
+	"dabench/internal/trace"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "dabench-analyze")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "results.jsonl")
+
+	// Run two experiments and log every measurement.
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	for _, id := range []string{"table1", "table4"} {
+		res, err := dabench.RunExperiment(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, rec := range res.Trace {
+			if err := w.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d measurement records to %s\n\n", w.Count(), path)
+
+	// Read back and aggregate, exactly as a post-processing script
+	// would on the testbed's analysis logs.
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	recs, err := trace.Read(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range trace.Analyze(recs) {
+		fmt.Printf("%-8s %-6s %-10s n=%d fail=%d min=%.4g mean=%.4g max=%.4g\n",
+			s.Experiment, s.Platform, s.Metric, s.Count, s.Failures, s.Min, s.Mean, s.Max)
+	}
+}

@@ -1,0 +1,58 @@
+// Deployment reproduces the Tier-2 deployment optimization of
+// Figure 12 and Table IV: batch-size and precision sweeps per platform,
+// with the framework's recommendations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dabench "dabench"
+)
+
+func main() {
+	cases := []struct {
+		name    string
+		p       dabench.Platform
+		spec    dabench.TrainSpec
+		batches []int
+		formats []dabench.Format
+	}{
+		{
+			"WSE-2 (GPT-2 small)", dabench.NewWSE(),
+			dabench.TrainSpec{Model: dabench.GPT2Small(), Batch: 1, Seq: 1024, Precision: dabench.FP16},
+			[]int{25, 50, 100, 200, 400, 800},
+			[]dabench.Format{dabench.FP16, dabench.CB16},
+		},
+		{
+			"RDU (LLaMA-2 7B, TP2)", dabench.NewRDU(),
+			dabench.TrainSpec{Model: dabench.LLaMA2_7B(), Batch: 1, Seq: 4096, Precision: dabench.BF16,
+				Par: dabench.Parallelism{Mode: dabench.ModeO1, TensorParallel: 2}},
+			[]int{4, 8, 12, 16},
+			[]dabench.Format{dabench.BF16, dabench.Mixed},
+		},
+		{
+			"IPU (GPT-2 small, 2 layers)", dabench.NewIPU(),
+			dabench.TrainSpec{Model: dabench.GPT2Small().WithLayers(2), Batch: 1, Seq: 1024, Precision: dabench.FP32},
+			[]int{50, 100, 150, 200},
+			[]dabench.Format{dabench.FP32, dabench.Mixed},
+		},
+	}
+	for _, c := range cases {
+		rep, err := dabench.Deployment(c.p, c.spec, c.batches, c.formats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", c.name)
+		for _, pt := range rep.BatchCurve {
+			fmt.Printf("  %-8s %.4g tokens/s\n", pt.Label, pt.TokensPerSec)
+		}
+		for _, pt := range rep.PrecisionCurve {
+			fmt.Printf("  %-8s %.4g tokens/s\n", pt.Label, pt.TokensPerSec)
+		}
+		for _, r := range rep.Recommendations {
+			fmt.Println("  recommendation:", r)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,72 @@
+// Intrachip runs the full Tier-1 characterization across all three
+// dataflow platforms: the layer sweep of Table I / Figure 9 on the WSE,
+// the compile-mode comparison of Figure 7 on the RDU, and the memory
+// wall of Figure 9d on the IPU — the paper's Section V workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dabench "dabench"
+)
+
+func main() {
+	wse := dabench.NewWSE()
+	fmt.Println("== WSE-2: layer sweep (Table I / Figure 9a) ==")
+	for _, l := range []int{1, 6, 12, 24, 36, 60, 72, 78} {
+		spec := dabench.TrainSpec{
+			Model: dabench.GPT2Small().WithLayers(l), Batch: 512, Seq: 1024,
+			Precision: dabench.FP16,
+		}
+		prof, err := dabench.Profile(wse, spec)
+		if err != nil {
+			if dabench.IsCompileFailure(err) {
+				fmt.Printf("L=%-3d FAIL: %v\n", l, err)
+				continue
+			}
+			log.Fatal(err)
+		}
+		fmt.Printf("L=%-3d %s\n", l, prof.Summary())
+	}
+
+	rdu := dabench.NewRDU()
+	fmt.Println("\n== RDU: compile modes (Figure 7) ==")
+	for _, mode := range []struct {
+		name string
+		m    dabench.Parallelism
+	}{
+		{"O0", dabench.Parallelism{Mode: dabench.ModeO0}},
+		{"O1", dabench.Parallelism{Mode: dabench.ModeO1}},
+		{"O3", dabench.Parallelism{Mode: dabench.ModeO3}},
+	} {
+		spec := dabench.TrainSpec{
+			Model: dabench.GPT2Small().WithLayers(24), Batch: 4, Seq: 1024,
+			Precision: dabench.BF16, Par: mode.m,
+		}
+		prof, err := dabench.Profile(rdu, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %s\n", mode.name, prof.Summary())
+	}
+
+	ipu := dabench.NewIPU()
+	fmt.Println("\n== IPU: memory wall (Figure 9d) ==")
+	for _, l := range []int{1, 4, 8, 10} {
+		spec := dabench.TrainSpec{
+			Model: dabench.GPT2Small().WithLayers(l), Batch: 2048, Seq: 1024,
+			Precision: dabench.FP16,
+		}
+		prof, err := dabench.Profile(ipu, spec)
+		if err != nil {
+			if dabench.IsCompileFailure(err) {
+				fmt.Printf("L=%-3d FAIL: %v\n", l, err)
+				continue
+			}
+			log.Fatal(err)
+		}
+		fmt.Printf("L=%-3d %s (mem %.1f MB)\n", l, prof.Summary(),
+			prof.Compile.Memory.Used().MB())
+	}
+}

@@ -1,0 +1,26 @@
+// Quickstart: Tier-1 profile of GPT-2 small on the simulated Cerebras
+// WSE-2 — the paper's basic intra-chip experiment in ten lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dabench "dabench"
+)
+
+func main() {
+	prof, err := dabench.Profile(dabench.NewWSE(), dabench.TrainSpec{
+		Model:     dabench.GPT2Small(),
+		Batch:     512,
+		Seq:       1024,
+		Precision: dabench.FP16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(prof.Summary())
+	for _, insight := range prof.Insights {
+		fmt.Println(" -", insight)
+	}
+}

@@ -1,0 +1,70 @@
+// Scalability reproduces the Tier-2 multi-chip study of Table III and
+// Figure 11: intra-chip data parallelism on the WSE-2, tensor
+// parallelism on the RDU (intra- vs cross-machine), and pipeline
+// parallelism with explicit layer assignments on the IPU.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dabench "dabench"
+)
+
+func main() {
+	fmt.Println("== WSE-2: intra-chip data parallelism ==")
+	wsePts, err := dabench.Scalability(dabench.NewWSE(),
+		dabench.TrainSpec{Model: dabench.GPTMini(), Batch: 512, Seq: 1024, Precision: dabench.FP16},
+		[]dabench.Parallelism{
+			{},
+			{DataParallel: 2},
+			{DataParallel: 4},
+		},
+		[]string{"DP1", "DP2", "DP4"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range wsePts {
+		fmt.Printf("%-4s %.3g tokens/s\n", p.Label, p.TokensPerSec)
+	}
+
+	fmt.Println("\n== RDU: tensor parallelism on LLaMA-2 7B ==")
+	rduPts, err := dabench.Scalability(dabench.NewRDU(),
+		dabench.TrainSpec{Model: dabench.LLaMA2_7B(), Batch: 8, Seq: 4096, Precision: dabench.BF16,
+			Par: dabench.Parallelism{Mode: dabench.ModeO1}},
+		[]dabench.Parallelism{
+			{Mode: dabench.ModeO1, TensorParallel: 2},
+			{Mode: dabench.ModeO1, TensorParallel: 4},
+			{Mode: dabench.ModeO1, TensorParallel: 8},
+		},
+		[]string{"TP2 (one machine)", "TP4 (cross-machine)", "TP8 (cross-machine)"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range rduPts {
+		fmt.Printf("%-20s %.0f tokens/s (PCU %.0f%%)\n",
+			p.Label, p.TokensPerSec, 100*p.Allocation["PCU"])
+	}
+
+	fmt.Println("\n== IPU: pipeline layer assignments (Figure 11c) ==")
+	assignments := [][]int{{2, 2, 2}, {4, 1, 1}, {3, 2, 1}}
+	for _, a := range assignments {
+		total := 0
+		for _, v := range a {
+			total += v
+		}
+		spec := dabench.TrainSpec{
+			Model: dabench.GPT2Small().WithLayers(total), Batch: 2048, Seq: 1024,
+			Precision: dabench.FP16,
+			Par:       dabench.Parallelism{PipelineParallel: len(a) + 1, LayerAssignment: a},
+		}
+		prof, err := dabench.Profile(dabench.NewIPU(), spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v -> %.0f samples/s\n", a, prof.Run.SamplesPerSec)
+	}
+	fmt.Println("(throughput is set by the most heavily loaded IPU)")
+}

@@ -1,0 +1,133 @@
+package dabench_test
+
+// Integration tests asserting the paper's cross-platform *insights*
+// hold end-to-end through the public API — the qualitative claims each
+// section's "Insight:" box makes, independent of any single table's
+// numbers.
+
+import (
+	"strings"
+	"testing"
+
+	dabench "dabench"
+)
+
+// Section V-A insight: WSE-2 achieves a high allocation ratio through
+// flexible kernel allocation but hits a scalability wall; RDU trains
+// arbitrarily large models through partitioning but stays under 60%.
+func TestInsightAllocationTradeoffs(t *testing.T) {
+	wseProf, err := dabench.Profile(dabench.NewWSE(), dabench.TrainSpec{
+		Model: dabench.GPT2Small().WithLayers(36), Batch: 512, Seq: 1024, Precision: dabench.FP16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rduProf, err := dabench.Profile(dabench.NewRDU(), dabench.TrainSpec{
+		Model: dabench.GPT2Small().WithLayers(36), Batch: 4, Seq: 1024, Precision: dabench.BF16,
+		Par: dabench.Parallelism{Mode: dabench.ModeO3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wseProf.Allocation["PE"] < 0.85 {
+		t.Errorf("WSE allocation %v should be high", wseProf.Allocation["PE"])
+	}
+	if rduProf.Allocation["PCU"] > 0.60 {
+		t.Errorf("RDU allocation %v should stay under 60%%", rduProf.Allocation["PCU"])
+	}
+	// WSE hits its wall at 78 layers; the RDU compiles the same config.
+	deep := dabench.TrainSpec{
+		Model: dabench.GPT2Small().WithLayers(78), Batch: 4, Seq: 1024, Precision: dabench.BF16,
+		Par: dabench.Parallelism{Mode: dabench.ModeO3},
+	}
+	if _, err := dabench.Profile(dabench.NewRDU(), deep); err != nil {
+		t.Errorf("RDU should scale past the WSE wall: %v", err)
+	}
+	deep.Precision = dabench.FP16
+	deep.Par = dabench.Parallelism{}
+	if _, err := dabench.Profile(dabench.NewWSE(), deep); !dabench.IsCompileFailure(err) {
+		t.Errorf("WSE at 78 layers should fail: %v", err)
+	}
+}
+
+// Section V-C insight: only the WSE stays compute-bound; RDU and IPU
+// are memory-bound — "memory bandwidth as the primary bottleneck for
+// most AI accelerators".
+func TestInsightRooflineRegimes(t *testing.T) {
+	profs := map[string]dabench.TrainSpec{
+		"WSE-2": {Model: dabench.GPT2Small(), Batch: 512, Seq: 1024, Precision: dabench.FP16},
+		"RDU": {Model: dabench.LLaMA2_7B(), Batch: 8, Seq: 4096, Precision: dabench.BF16,
+			Par: dabench.Parallelism{Mode: dabench.ModeO1, TensorParallel: 2}},
+		"IPU": {Model: dabench.GPT2Small().WithLayers(4), Batch: 2048, Seq: 1024, Precision: dabench.FP16},
+	}
+	for _, p := range dabench.Platforms() {
+		spec, ok := profs[p.Name()]
+		if !ok {
+			continue
+		}
+		prof, err := dabench.Profile(p, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		wantCompute := p.Name() == "WSE-2"
+		gotCompute := prof.Regime.String() == "compute-bound"
+		if wantCompute != gotCompute {
+			t.Errorf("%s regime = %v", p.Name(), prof.Regime)
+		}
+	}
+}
+
+// Section VI insight: deployment recommendations differ per platform —
+// batch ≥ ~200 on WSE, maximize batch elsewhere; precision matters most
+// on RDU, least on WSE.
+func TestInsightDeploymentRecommendations(t *testing.T) {
+	wseRep, err := dabench.Deployment(dabench.NewWSE(),
+		dabench.TrainSpec{Model: dabench.GPT2Small(), Batch: 1, Seq: 1024, Precision: dabench.FP16},
+		[]int{25, 50, 100, 200, 400, 800},
+		[]dabench.Format{dabench.FP16, dabench.CB16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wseRep.KneeBatch < 100 || wseRep.KneeBatch > 800 {
+		t.Errorf("WSE knee batch = %d, want the 200-region", wseRep.KneeBatch)
+	}
+	rduRep, err := dabench.Deployment(dabench.NewRDU(),
+		dabench.TrainSpec{Model: dabench.LLaMA2_7B(), Batch: 1, Seq: 4096, Precision: dabench.BF16,
+			Par: dabench.Parallelism{Mode: dabench.ModeO1, TensorParallel: 2}},
+		[]int{4, 8, 16},
+		[]dabench.Format{dabench.BF16, dabench.Mixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision sensitivity ordering: RDU ≫ WSE.
+	if rduRep.PrecisionGain <= wseRep.PrecisionGain {
+		t.Errorf("RDU precision gain %v should exceed WSE's %v",
+			rduRep.PrecisionGain, wseRep.PrecisionGain)
+	}
+	for _, rec := range rduRep.Recommendations {
+		if strings.Contains(rec, "Mixed") {
+			return
+		}
+	}
+	t.Error("RDU recommendations should prefer Mixed precision")
+}
+
+// The framework's generality claim: the same Profile call works on all
+// four backends with zero platform-specific code.
+func TestInsightFrameworkGenerality(t *testing.T) {
+	custom := dabench.GPT2Small().WithHidden(1024).WithLayers(4)
+	for _, p := range dabench.Platforms() {
+		spec := dabench.TrainSpec{Model: custom, Batch: 64, Seq: 1024, Precision: dabench.BF16}
+		if p.Name() == "RDU" {
+			spec.Batch = 4
+		}
+		prof, err := dabench.Profile(p, spec)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+			continue
+		}
+		if prof.Run.TokensPerSec <= 0 {
+			t.Errorf("%s: no throughput", p.Name())
+		}
+	}
+}

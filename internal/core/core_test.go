@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dabench/internal/model"
+	"dabench/internal/platform"
+	"dabench/internal/precision"
+	"dabench/internal/rdu"
+	"dabench/internal/roofline"
+	"dabench/internal/wse"
+)
+
+func wseSpec() platform.TrainSpec {
+	return platform.TrainSpec{
+		Model: model.GPT2Small(), Batch: 512, Seq: 1024, Precision: precision.FP16,
+	}
+}
+
+func TestProfileWSE(t *testing.T) {
+	prof, err := Profile(wse.New(), wseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Allocation[platform.ResPE] < 0.8 || prof.Allocation[platform.ResPE] > 0.93 {
+		t.Errorf("PE allocation = %v", prof.Allocation[platform.ResPE])
+	}
+	if prof.LI <= 0.7 || prof.LI > 1 {
+		t.Errorf("LI = %v", prof.LI)
+	}
+	if prof.Regime != roofline.ComputeBound {
+		t.Errorf("WSE should be compute-bound, got %v", prof.Regime)
+	}
+	if len(prof.Insights) == 0 {
+		t.Error("no insights")
+	}
+	s := prof.Summary()
+	for _, want := range []string{"WSE-2", "gpt2-small", "LI=", "compute-bound"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestProfileUsesNativeLI(t *testing.T) {
+	// The RDU implements the imbalancer interface; Profile must use it
+	// (operator-level LI) rather than the generic kernel fallback.
+	spec := platform.TrainSpec{
+		Model: model.GPT2Small().WithLayers(24), Batch: 4, Seq: 1024,
+		Precision: precision.BF16, Par: platform.Parallelism{Mode: platform.ModeO3},
+	}
+	sim := rdu.New()
+	prof, err := Profile(sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := sim.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.LoadImbalance(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.LI != want {
+		t.Errorf("Profile LI = %v, native LI = %v", prof.LI, want)
+	}
+}
+
+func TestProfilePropagatesCompileFailure(t *testing.T) {
+	spec := wseSpec()
+	spec.Model = spec.Model.WithLayers(78)
+	if _, err := Profile(wse.New(), spec); !platform.IsCompileFailure(err) {
+		t.Errorf("expected compile failure, got %v", err)
+	}
+}
+
+func TestScalabilityRecordsFailures(t *testing.T) {
+	base := platform.TrainSpec{
+		Model: model.LLaMA2_70B(), Batch: 1, Seq: 4096, Precision: precision.BF16,
+	}
+	pts, err := Scalability(rdu.New(), base,
+		[]platform.Parallelism{
+			{Mode: platform.ModeO1, TensorParallel: 1},
+			{Mode: platform.ModeO1, TensorParallel: 8},
+		},
+		[]string{"TP1", "TP8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts[0].Failed || pts[0].FailReason == "" {
+		t.Error("TP1 should record a placement failure")
+	}
+	if pts[1].Failed || pts[1].TokensPerSec <= 0 {
+		t.Errorf("TP8 should succeed: %+v", pts[1])
+	}
+}
+
+func TestScalabilityLabelMismatch(t *testing.T) {
+	if _, err := Scalability(wse.New(), wseSpec(), []platform.Parallelism{{}}, nil); err == nil {
+		t.Error("label mismatch accepted")
+	}
+}
+
+func TestDeployment(t *testing.T) {
+	rep, err := Deployment(wse.New(), wseSpec(),
+		[]int{50, 200, 800}, []precision.Format{precision.FP16, precision.CB16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BatchCurve) != 3 || len(rep.PrecisionCurve) != 2 {
+		t.Fatalf("curves: %+v", rep)
+	}
+	if rep.BestPrecision != precision.CB16 {
+		t.Errorf("best precision = %v", rep.BestPrecision)
+	}
+	if rep.PrecisionGain < 0.08 || rep.PrecisionGain > 0.13 {
+		t.Errorf("precision gain = %v, want ≈0.107", rep.PrecisionGain)
+	}
+	if rep.KneeBatch == 0 || len(rep.Recommendations) != 2 {
+		t.Errorf("recommendations: %+v", rep)
+	}
+	if _, err := Deployment(wse.New(), wseSpec(), nil, nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"dabench/internal/platform"
+	"dabench/internal/precision"
+)
+
+// ScalePoint is one multi-chip configuration's outcome.
+type ScalePoint struct {
+	Label         string
+	Par           platform.Parallelism
+	TokensPerSec  float64
+	SamplesPerSec float64
+	Allocation    map[platform.Resource]float64
+	Failed        bool
+	FailReason    string
+}
+
+// Scalability evaluates a set of parallelism configurations for one
+// workload (Tier 2, Table III / Figure 11). Placement failures are
+// recorded, not fatal — they are findings.
+func Scalability(p platform.Platform, base platform.TrainSpec, configs []platform.Parallelism, labels []string) ([]ScalePoint, error) {
+	if len(configs) != len(labels) {
+		return nil, fmt.Errorf("core: %d configs but %d labels", len(configs), len(labels))
+	}
+	out := make([]ScalePoint, 0, len(configs))
+	for i, par := range configs {
+		spec := base
+		spec.Par = par
+		pt := ScalePoint{Label: labels[i], Par: par}
+		cr, err := p.Compile(spec)
+		if err != nil {
+			if !platform.IsCompileFailure(err) {
+				return nil, err
+			}
+			pt.Failed = true
+			pt.FailReason = err.Error()
+			out = append(out, pt)
+			continue
+		}
+		rr, err := p.Run(cr)
+		if err != nil {
+			return nil, err
+		}
+		pt.TokensPerSec = rr.TokensPerSec
+		pt.SamplesPerSec = rr.SamplesPerSec
+		pt.Allocation = map[platform.Resource]float64{}
+		for r := range cr.Capacity {
+			pt.Allocation[r] = cr.AllocationRatio(r)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// DeployPoint is one deployment knob setting's outcome.
+type DeployPoint struct {
+	Label        string
+	TokensPerSec float64
+}
+
+// DeploymentReport is the Tier-2 deployment-optimization result.
+type DeploymentReport struct {
+	BatchCurve      []DeployPoint
+	PrecisionCurve  []DeployPoint
+	BestBatch       int
+	BestPrecision   precision.Format
+	KneeBatch       int // smallest batch within 90% of the asymptote
+	PrecisionGain   float64
+	Recommendations []string
+}
+
+// Deployment sweeps batch size and precision for one platform+model
+// (Tier 2, Figure 12 / Table IV) and extracts the paper-style
+// recommendations.
+func Deployment(p platform.Platform, base platform.TrainSpec, batches []int, formats []precision.Format) (*DeploymentReport, error) {
+	if len(batches) == 0 || len(formats) == 0 {
+		return nil, fmt.Errorf("core: deployment sweep needs batches and formats")
+	}
+	rep := &DeploymentReport{}
+
+	run := func(spec platform.TrainSpec) (float64, error) {
+		cr, err := p.Compile(spec)
+		if err != nil {
+			return 0, err
+		}
+		rr, err := p.Run(cr)
+		if err != nil {
+			return 0, err
+		}
+		return rr.TokensPerSec, nil
+	}
+
+	best := 0.0
+	for _, b := range batches {
+		spec := base
+		spec.Batch = b
+		tps, err := run(spec)
+		if err != nil {
+			if platform.IsCompileFailure(err) {
+				continue
+			}
+			return nil, err
+		}
+		rep.BatchCurve = append(rep.BatchCurve, DeployPoint{Label: fmt.Sprintf("B=%d", b), TokensPerSec: tps})
+		if tps > best {
+			best = tps
+			rep.BestBatch = b
+		}
+	}
+	if len(rep.BatchCurve) == 0 {
+		return nil, fmt.Errorf("core: no batch point compiled on %s", p.Name())
+	}
+	for i, b := range batches[:len(rep.BatchCurve)] {
+		if rep.BatchCurve[i].TokensPerSec >= 0.9*best {
+			rep.KneeBatch = b
+			break
+		}
+	}
+
+	bestPrec := 0.0
+	worstPrec := 0.0
+	for i, f := range formats {
+		spec := base
+		spec.Precision = f
+		tps, err := run(spec)
+		if err != nil {
+			if platform.IsCompileFailure(err) {
+				continue
+			}
+			return nil, err
+		}
+		rep.PrecisionCurve = append(rep.PrecisionCurve, DeployPoint{Label: f.String(), TokensPerSec: tps})
+		if tps > bestPrec {
+			bestPrec = tps
+			rep.BestPrecision = f
+		}
+		if i == 0 || tps < worstPrec {
+			worstPrec = tps
+		}
+	}
+	if worstPrec > 0 {
+		rep.PrecisionGain = bestPrec/worstPrec - 1
+	}
+
+	rep.Recommendations = append(rep.Recommendations,
+		fmt.Sprintf("use batch ≥ %d (within 90%% of peak throughput)", rep.KneeBatch),
+		fmt.Sprintf("prefer %s precision (%.1f%% over the slowest format)", rep.BestPrecision, 100*rep.PrecisionGain),
+	)
+	return rep, nil
+}

@@ -1,0 +1,255 @@
+// Package dataflow models the data-driven execution that defines the
+// accelerators in the paper: a DAG of stages in which each stage fires
+// as soon as its inputs are available, with no global scheduling.
+//
+// The engine computes, for a stream of samples pushed through the
+// pipeline, the exact completion times under unbounded inter-stage
+// buffering (the classic marked-graph recurrence):
+//
+//	finish[s][k] = max(arrive[s][k], finish[s][k-R_s]) + service_s
+//
+// where R_s is the stage's replica count. From the schedule it derives
+// steady-state throughput, per-stage busy fractions, and the bottleneck
+// stage — the quantities behind the paper's load-imbalance metric
+// ("overall throughput is typically limited by the slowest subtask").
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"dabench/internal/units"
+)
+
+// Stage is one node of the executable pipeline.
+type Stage struct {
+	Name string
+	// Service is the time the stage needs per sample.
+	Service units.Seconds
+	// Replicas is the number of samples the stage can process
+	// concurrently (1 if zero).
+	Replicas int
+}
+
+// Pipeline is a DAG of stages.
+type Pipeline struct {
+	stages []Stage
+	succ   [][]int
+	pred   [][]int
+}
+
+// NewPipeline creates an empty pipeline.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// AddStage appends a stage and returns its index.
+func (p *Pipeline) AddStage(s Stage) int {
+	p.stages = append(p.stages, s)
+	p.succ = append(p.succ, nil)
+	p.pred = append(p.pred, nil)
+	return len(p.stages) - 1
+}
+
+// Connect adds a dependency from stage a to stage b.
+func (p *Pipeline) Connect(a, b int) error {
+	if a < 0 || a >= len(p.stages) || b < 0 || b >= len(p.stages) {
+		return fmt.Errorf("dataflow: connect %d->%d out of range", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("dataflow: self loop on stage %d", a)
+	}
+	p.succ[a] = append(p.succ[a], b)
+	p.pred[b] = append(p.pred[b], a)
+	return nil
+}
+
+// Len returns the stage count.
+func (p *Pipeline) Len() int { return len(p.stages) }
+
+// Stage returns the stage at index i.
+func (p *Pipeline) Stage(i int) Stage { return p.stages[i] }
+
+// Chain builds a linear pipeline from the given stages.
+func Chain(stages ...Stage) *Pipeline {
+	p := NewPipeline()
+	prev := -1
+	for _, s := range stages {
+		id := p.AddStage(s)
+		if prev >= 0 {
+			// Connect cannot fail for freshly added sequential ids.
+			_ = p.Connect(prev, id)
+		}
+		prev = id
+	}
+	return p
+}
+
+// StageStats summarizes one stage's activity over a run.
+type StageStats struct {
+	Name      string
+	Processed int
+	Busy      units.Seconds
+	// Utilization is busy time divided by the run's makespan.
+	Utilization float64
+	// Throughput is the stage's isolated capacity, samples/s.
+	Throughput float64
+}
+
+// Result summarizes a pipeline run.
+type Result struct {
+	Samples  int
+	Makespan units.Seconds
+	// Throughput is samples per second over the whole run.
+	Throughput float64
+	// SteadyThroughput is the asymptotic rate set by the bottleneck.
+	SteadyThroughput float64
+	Bottleneck       int // stage index of the slowest stage
+	Stages           []StageStats
+}
+
+// topoOrder returns a topological order of stage indices.
+func (p *Pipeline) topoOrder() ([]int, error) {
+	indeg := make([]int, len(p.stages))
+	for _, outs := range p.succ {
+		for _, b := range outs {
+			indeg[b]++
+		}
+	}
+	var q, order []int
+	for i, d := range indeg {
+		if d == 0 {
+			q = append(q, i)
+		}
+	}
+	for len(q) > 0 {
+		i := q[0]
+		q = q[1:]
+		order = append(order, i)
+		for _, b := range p.succ[i] {
+			indeg[b]--
+			if indeg[b] == 0 {
+				q = append(q, b)
+			}
+		}
+	}
+	if len(order) != len(p.stages) {
+		return nil, fmt.Errorf("dataflow: pipeline has a cycle")
+	}
+	return order, nil
+}
+
+// Run pushes n samples through the pipeline and returns the schedule
+// summary. Samples are all available at time 0 at the source stages.
+func (p *Pipeline) Run(n int) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataflow: sample count %d must be positive", n)
+	}
+	if len(p.stages) == 0 {
+		return nil, fmt.Errorf("dataflow: empty pipeline")
+	}
+	order, err := p.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	// finish[s][k]: completion time of sample k at stage s.
+	finish := make([][]float64, len(p.stages))
+	for s := range finish {
+		finish[s] = make([]float64, n)
+	}
+	for _, s := range order {
+		st := p.stages[s]
+		r := st.Replicas
+		if r < 1 {
+			r = 1
+		}
+		svc := float64(st.Service)
+		if svc < 0 || math.IsNaN(svc) {
+			return nil, fmt.Errorf("dataflow: stage %q has invalid service time %v", st.Name, svc)
+		}
+		for k := 0; k < n; k++ {
+			arrive := 0.0
+			for _, pr := range p.pred[s] {
+				if f := finish[pr][k]; f > arrive {
+					arrive = f
+				}
+			}
+			start := arrive
+			if k >= r {
+				if f := finish[s][k-r]; f > start {
+					start = f
+				}
+			}
+			finish[s][k] = start + svc
+		}
+	}
+
+	makespan := 0.0
+	for s := range p.stages {
+		if f := finish[s][n-1]; f > makespan {
+			makespan = f
+		}
+	}
+
+	res := &Result{
+		Samples:    n,
+		Makespan:   units.Seconds(makespan),
+		Bottleneck: -1,
+		Stages:     make([]StageStats, len(p.stages)),
+	}
+	if makespan > 0 {
+		res.Throughput = float64(n) / makespan
+	}
+	slowest := 0.0
+	for s, st := range p.stages {
+		r := st.Replicas
+		if r < 1 {
+			r = 1
+		}
+		svc := float64(st.Service)
+		busy := svc * float64(n) / float64(r)
+		stats := StageStats{Name: st.Name, Processed: n, Busy: units.Seconds(busy)}
+		if makespan > 0 {
+			stats.Utilization = busy / makespan
+		}
+		if svc > 0 {
+			stats.Throughput = float64(r) / svc
+		} else {
+			stats.Throughput = math.Inf(1)
+		}
+		res.Stages[s] = stats
+		if eff := svc / float64(r); eff > slowest {
+			slowest = eff
+			res.Bottleneck = s
+		}
+	}
+	if slowest > 0 {
+		res.SteadyThroughput = 1 / slowest
+	} else {
+		res.SteadyThroughput = math.Inf(1)
+	}
+	return res, nil
+}
+
+// CriticalPath returns the longest service-time path through the
+// pipeline — the single-sample latency.
+func (p *Pipeline) CriticalPath() (units.Seconds, error) {
+	order, err := p.topoOrder()
+	if err != nil {
+		return 0, err
+	}
+	longest := make([]float64, len(p.stages))
+	best := 0.0
+	for _, s := range order {
+		svc := float64(p.stages[s].Service)
+		longest[s] += svc
+		if longest[s] > best {
+			best = longest[s]
+		}
+		for _, b := range p.succ[s] {
+			if longest[s] > longest[b] {
+				longest[b] = longest[s]
+			}
+		}
+	}
+	return units.Seconds(best), nil
+}

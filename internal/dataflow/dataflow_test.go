@@ -1,0 +1,211 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dabench/internal/units"
+)
+
+func TestChainThroughputSetByBottleneck(t *testing.T) {
+	p := Chain(
+		Stage{Name: "a", Service: 0.001},
+		Stage{Name: "b", Service: 0.004}, // bottleneck
+		Stage{Name: "c", Service: 0.002},
+	)
+	res, err := p.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bottleneck != 1 {
+		t.Errorf("bottleneck = %d, want 1", res.Bottleneck)
+	}
+	if math.Abs(res.SteadyThroughput-250) > 1e-9 {
+		t.Errorf("steady throughput = %v, want 250", res.SteadyThroughput)
+	}
+	// With 1000 samples the measured rate approaches steady state.
+	if res.Throughput < 0.95*250 || res.Throughput > 250 {
+		t.Errorf("measured throughput = %v, want ≈250 from below", res.Throughput)
+	}
+}
+
+func TestMakespanExactForChain(t *testing.T) {
+	// Classic pipeline formula: makespan = sum(service) + (n-1)·max(service).
+	p := Chain(
+		Stage{Name: "a", Service: 1},
+		Stage{Name: "b", Service: 3},
+		Stage{Name: "c", Service: 2},
+	)
+	n := 5
+	res, err := p.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6.0 + float64(n-1)*3
+	if math.Abs(float64(res.Makespan)-want) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestReplicasRaiseThroughput(t *testing.T) {
+	single := Chain(Stage{Name: "x", Service: 0.01, Replicas: 1})
+	quad := Chain(Stage{Name: "x", Service: 0.01, Replicas: 4})
+	r1, err := single.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := quad.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r4.SteadyThroughput-4*r1.SteadyThroughput) > 1e-6 {
+		t.Errorf("4 replicas should 4x throughput: %v vs %v", r4.SteadyThroughput, r1.SteadyThroughput)
+	}
+	if float64(r4.Makespan) >= float64(r1.Makespan) {
+		t.Error("replicated makespan should shrink")
+	}
+}
+
+func TestDiamondDAG(t *testing.T) {
+	p := NewPipeline()
+	a := p.AddStage(Stage{Name: "a", Service: 1})
+	b := p.AddStage(Stage{Name: "b", Service: 2})
+	c := p.AddStage(Stage{Name: "c", Service: 3})
+	d := p.AddStage(Stage{Name: "d", Service: 1})
+	for _, e := range [][2]int{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := p.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-sample latency = critical path a->c->d = 5.
+	if math.Abs(float64(res.Makespan)-5) > 1e-9 {
+		t.Errorf("makespan = %v, want 5", res.Makespan)
+	}
+	cp, err := p.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(cp)-5) > 1e-9 {
+		t.Errorf("critical path = %v, want 5", cp)
+	}
+}
+
+func TestUtilizationOfBottleneckApproachesOne(t *testing.T) {
+	p := Chain(
+		Stage{Name: "fast", Service: 0.001},
+		Stage{Name: "slow", Service: 0.01},
+	)
+	res, err := p.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := res.Stages[1]
+	if slow.Utilization < 0.99 || slow.Utilization > 1.0+1e-9 {
+		t.Errorf("bottleneck utilization = %v, want ≈1", slow.Utilization)
+	}
+	fast := res.Stages[0]
+	if fast.Utilization > 0.2 {
+		t.Errorf("fast stage utilization = %v, want ≈0.1", fast.Utilization)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := NewPipeline().Run(1); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	p := Chain(Stage{Name: "x", Service: 1})
+	if _, err := p.Run(0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	neg := Chain(Stage{Name: "x", Service: -1})
+	if _, err := neg.Run(1); err == nil {
+		t.Error("negative service accepted")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	p := NewPipeline()
+	a := p.AddStage(Stage{Name: "a", Service: 1})
+	if err := p.Connect(a, a); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := p.Connect(a, 7); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	p := NewPipeline()
+	a := p.AddStage(Stage{Name: "a", Service: 1})
+	b := p.AddStage(Stage{Name: "b", Service: 1})
+	if err := p.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Connect(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(1); err == nil {
+		t.Error("cyclic pipeline accepted")
+	}
+}
+
+func TestZeroServiceStage(t *testing.T) {
+	p := Chain(Stage{Name: "free", Service: 0}, Stage{Name: "work", Service: 1})
+	res, err := p.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Makespan)-3) > 1e-9 {
+		t.Errorf("makespan = %v, want 3", res.Makespan)
+	}
+	if !math.IsInf(res.Stages[0].Throughput, 1) {
+		t.Error("zero-service stage should have infinite isolated throughput")
+	}
+}
+
+// Property: measured throughput never exceeds the steady-state bound
+// and approaches it as the stream lengthens.
+func TestThroughputBoundProperty(t *testing.T) {
+	f := func(s1, s2, s3 uint16, n uint8) bool {
+		svc := func(v uint16) units.Seconds { return units.Seconds(float64(v%997+1) * 1e-4) }
+		p := Chain(
+			Stage{Name: "a", Service: svc(s1)},
+			Stage{Name: "b", Service: svc(s2)},
+			Stage{Name: "c", Service: svc(s3)},
+		)
+		samples := int(n%200) + 1
+		res, err := p.Run(samples)
+		if err != nil {
+			return false
+		}
+		return res.Throughput <= res.SteadyThroughput*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: makespan is monotone non-decreasing in the sample count.
+func TestMakespanMonotoneProperty(t *testing.T) {
+	p := Chain(
+		Stage{Name: "a", Service: 0.003},
+		Stage{Name: "b", Service: 0.007, Replicas: 2},
+	)
+	f := func(n uint8) bool {
+		k := int(n%100) + 1
+		r1, err1 := p.Run(k)
+		r2, err2 := p.Run(k + 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return float64(r2.Makespan) >= float64(r1.Makespan)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

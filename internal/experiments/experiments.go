@@ -1,0 +1,769 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (Sections V and VI). Each runner sweeps the same
+// workloads the paper used, drives the platform simulators through the
+// DABench core, and returns the rows as a report.Table whose shape can
+// be compared directly against the published artifact. EXPERIMENTS.md
+// records paper-vs-measured values for every runner.
+package experiments
+
+import (
+	"fmt"
+
+	"dabench/internal/core"
+	"dabench/internal/gpu"
+	"dabench/internal/ipu"
+	"dabench/internal/model"
+	"dabench/internal/platform"
+	"dabench/internal/precision"
+	"dabench/internal/rdu"
+	"dabench/internal/report"
+	"dabench/internal/trace"
+	"dabench/internal/workload"
+	"dabench/internal/wse"
+)
+
+// Result bundles an experiment's table with its raw trace records.
+type Result struct {
+	ID     string
+	Tables []*report.Table
+	Trace  []trace.Record
+}
+
+// Runner executes one experiment.
+type Runner func() (*Result, error)
+
+// All maps experiment IDs (paper artifact numbers) to runners.
+func All() map[string]Runner {
+	return map[string]Runner{
+		"table1":   TableI,
+		"figure6":  Figure6,
+		"figure7":  Figure7,
+		"table2":   TableII,
+		"figure8":  Figure8,
+		"figure9":  Figure9,
+		"figure10": Figure10,
+		"table3":   TableIII,
+		"figure11": Figure11,
+		"figure12": Figure12,
+		"table4":   TableIV,
+	}
+}
+
+// IDs returns the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"table1", "figure6", "figure7", "table2", "figure8", "figure9",
+		"figure10", "table3", "figure11", "figure12", "table4",
+	}
+}
+
+const (
+	defaultBatch = 512
+	defaultSeq   = 1024
+)
+
+func gptSpec(l int) platform.TrainSpec {
+	return platform.TrainSpec{
+		Model: model.GPT2Small().WithLayers(l), Batch: defaultBatch, Seq: defaultSeq,
+		Precision: precision.FP16,
+	}
+}
+
+// TableI reproduces "PE allocation ratio across different layer
+// configurations" on the WSE-2.
+func TableI() (*Result, error) {
+	sim := wse.New()
+	tbl := report.New("Table I — WSE-2 PE allocation ratio vs. layer count (GPT-2 HS768)",
+		"Layers", "PE alloc %", "Status")
+	res := &Result{ID: "table1"}
+	for _, l := range workload.PaperLayerPoints() {
+		cr, err := sim.Compile(gptSpec(l))
+		if err != nil {
+			if !platform.IsCompileFailure(err) {
+				return nil, err
+			}
+			tbl.Add(fmt.Sprint(l), "-", "Fail")
+			res.Trace = append(res.Trace, trace.Record{
+				Experiment: "table1", Platform: "WSE-2", Config: fmt.Sprintf("L=%d", l),
+				Metric: "alloc%", Failed: true, Note: err.Error(),
+			})
+			continue
+		}
+		ratio := 100 * cr.AllocationRatio(platform.ResPE)
+		tbl.Add(fmt.Sprint(l), report.F(ratio), "ok")
+		res.Trace = append(res.Trace, trace.Record{
+			Experiment: "table1", Platform: "WSE-2", Config: fmt.Sprintf("L=%d", l),
+			Metric: "alloc%", Value: ratio,
+		})
+	}
+	res.Tables = []*report.Table{tbl}
+	return res, nil
+}
+
+// Figure6 reproduces the WSE-2 PE usage breakdown: computation PEs,
+// transmission PEs, and per-attention-kernel PEs vs. layer count.
+func Figure6() (*Result, error) {
+	sim := wse.New()
+	tbl := report.New("Figure 6 — WSE-2 PE usage breakdown (GPT-2 HS768)",
+		"Layers", "Computation PEs", "Transmission PEs", "PEs per attention kernel")
+	res := &Result{ID: "figure6"}
+	for _, l := range []int{1, 6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72} {
+		cr, err := sim.Compile(gptSpec(l))
+		if err != nil {
+			return nil, err
+		}
+		var compute, tx, attn float64
+		for _, t := range cr.Tasks {
+			switch {
+			case t.Kind == "transmission":
+				tx = t.Units[platform.ResPE]
+			case t.Kind == "kernel":
+				compute += t.Units[platform.ResPE]
+				if t.Name == "L0/attention" {
+					attn = t.Units[platform.ResPE]
+				}
+			}
+		}
+		tbl.Add(fmt.Sprint(l), report.F(compute), report.F(tx), report.F(attn))
+		res.Trace = append(res.Trace,
+			trace.Record{Experiment: "figure6", Platform: "WSE-2", Config: fmt.Sprintf("L=%d", l), Metric: "computePEs", Value: compute},
+			trace.Record{Experiment: "figure6", Platform: "WSE-2", Config: fmt.Sprintf("L=%d", l), Metric: "txPEs", Value: tx},
+			trace.Record{Experiment: "figure6", Platform: "WSE-2", Config: fmt.Sprintf("L=%d", l), Metric: "attnPEs", Value: attn},
+		)
+	}
+	res.Tables = []*report.Table{tbl}
+	return res, nil
+}
+
+// rduModes is the mode ladder of Figures 7–9.
+var rduModes = []platform.CompileMode{platform.ModeO0, platform.ModeO1, platform.ModeO3}
+
+// Figure7 reproduces the RDU resource-allocation ratios across layers
+// (a) and hidden sizes (b) under O0/O1/O3.
+func Figure7() (*Result, error) {
+	sim := rdu.New()
+	res := &Result{ID: "figure7"}
+
+	a := report.New("Figure 7a — RDU allocation vs. layers (GPT-2 HS768)",
+		"Mode", "Layers", "PCU %", "PMU %")
+	for _, mode := range rduModes {
+		for _, l := range []int{4, 8, 16, 24, 32, 48} {
+			spec := gptSpec(l)
+			spec.Batch = 4
+			spec.Precision = precision.BF16
+			spec.Par.Mode = mode
+			cr, err := sim.Compile(spec)
+			if err != nil {
+				return nil, err
+			}
+			pcu := 100 * cr.AllocationRatio(platform.ResPCU)
+			pmu := 100 * cr.AllocationRatio(platform.ResPMU)
+			a.Add(mode.String(), fmt.Sprint(l), report.F(pcu), report.F(pmu))
+			res.Trace = append(res.Trace,
+				trace.Record{Experiment: "figure7", Platform: "RDU", Config: fmt.Sprintf("%s/L=%d", mode, l), Metric: "pcu%", Value: pcu},
+				trace.Record{Experiment: "figure7", Platform: "RDU", Config: fmt.Sprintf("%s/L=%d", mode, l), Metric: "pmu%", Value: pmu},
+			)
+		}
+	}
+
+	b := report.New("Figure 7b — RDU allocation vs. hidden size",
+		"Mode", "Hidden", "PCU %", "PMU %")
+	for _, mode := range rduModes {
+		hs := workload.PaperHiddenPointsSmall()
+		fam := model.GPT2
+		if mode == platform.ModeO1 {
+			hs = workload.PaperHiddenPointsLarge()
+			fam = model.LLaMA2
+		}
+		for _, h := range hs {
+			spec := platform.TrainSpec{
+				Model: model.DecoderBlock(fam, h).WithLayers(8), Batch: 4, Seq: defaultSeq,
+				Precision: precision.BF16, Par: platform.Parallelism{Mode: mode},
+			}
+			cr, err := sim.Compile(spec)
+			if err != nil {
+				return nil, err
+			}
+			pcu := 100 * cr.AllocationRatio(platform.ResPCU)
+			pmu := 100 * cr.AllocationRatio(platform.ResPMU)
+			b.Add(mode.String(), fmt.Sprint(h), report.F(pcu), report.F(pmu))
+			res.Trace = append(res.Trace,
+				trace.Record{Experiment: "figure7", Platform: "RDU", Config: fmt.Sprintf("%s/H=%d", mode, h), Metric: "pcu%", Value: pcu},
+			)
+		}
+	}
+	res.Tables = []*report.Table{a, b}
+	return res, nil
+}
+
+// TableII reproduces the O3 layer-partitioning utilizations (a) and
+// the O1 LM-head shard info (b).
+func TableII() (*Result, error) {
+	sim := rdu.New()
+	res := &Result{ID: "table2"}
+
+	a := report.New("Table IIa — O3 forward/backward utilization and partition ratio",
+		"Hidden", "Fwd util %", "Fwd sections/decoder", "Bwd util %", "Bwd sections/decoder")
+	for _, h := range workload.PaperHiddenPointsSmall() {
+		spec := platform.TrainSpec{
+			Model: model.DecoderBlock(model.GPT2, h).WithLayers(12), Batch: 4, Seq: defaultSeq,
+			Precision: precision.BF16, Par: platform.Parallelism{Mode: platform.ModeO3},
+		}
+		cr, err := sim.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		var fwdPCU, bwdPCU, nFwd, nBwd float64
+		for _, t := range cr.Tasks {
+			if t.Kind != "section" {
+				continue
+			}
+			switch {
+			case hasPrefix(t.Name, "decoder.fwd"):
+				fwdPCU += t.Units[platform.ResPCU]
+				nFwd++
+			case hasPrefix(t.Name, "decoder.bwd"):
+				bwdPCU += t.Units[platform.ResPCU]
+				nBwd++
+			}
+		}
+		fu := 100 * fwdPCU / nFwd / rdu.PCUs
+		bu := 100 * bwdPCU / nBwd / rdu.PCUs
+		a.Add(fmt.Sprint(h), report.F(fu), report.F(nFwd/12), report.F(bu), report.F(nBwd/12))
+		res.Trace = append(res.Trace,
+			trace.Record{Experiment: "table2", Platform: "RDU", Config: fmt.Sprintf("O3/H=%d", h), Metric: "fwdUtil%", Value: fu},
+			trace.Record{Experiment: "table2", Platform: "RDU", Config: fmt.Sprintf("O3/H=%d", h), Metric: "bwdUtil%", Value: bu},
+		)
+	}
+
+	b := report.New("Table IIb — O1 LM-head shard sections (LLaMA-2 block)",
+		"Hidden", "Shard sections", "PCU/section", "PMU/section")
+	for _, h := range workload.PaperHiddenPointsLarge() {
+		spec := platform.TrainSpec{
+			Model: model.DecoderBlock(model.LLaMA2, h).WithLayers(8), Batch: 1, Seq: defaultSeq,
+			Precision: precision.BF16, Par: platform.Parallelism{Mode: platform.ModeO1},
+		}
+		cr, err := sim.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		var n, pcu, pmu float64
+		for _, t := range cr.Tasks {
+			if t.Kind == "section" && hasPrefix(t.Name, "lm-head.shard") {
+				n++
+				pcu = t.Units[platform.ResPCU]
+				pmu = t.Units[platform.ResPMU]
+			}
+		}
+		b.Add(fmt.Sprint(h), report.F(n), report.F(pcu), report.F(pmu))
+		res.Trace = append(res.Trace,
+			trace.Record{Experiment: "table2", Platform: "RDU", Config: fmt.Sprintf("O1/H=%d", h), Metric: "shardSections", Value: n},
+			trace.Record{Experiment: "table2", Platform: "RDU", Config: fmt.Sprintf("O1/H=%d", h), Metric: "pcu/section", Value: pcu},
+		)
+	}
+	res.Tables = []*report.Table{a, b}
+	return res, nil
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// Figure8 reproduces load imbalance vs. layers (a) and hidden size (b)
+// for the WSE (kernel level) and the RDU O1/O3 (operator level).
+func Figure8() (*Result, error) {
+	res := &Result{ID: "figure8"}
+	w := wse.New()
+	r := rdu.New()
+
+	a := report.New("Figure 8a — LI vs. layer count", "Platform", "Layers", "LI")
+	for _, l := range []int{4, 12, 24, 36, 48, 60} {
+		wp, err := core.Profile(w, gptSpec(l))
+		if err != nil {
+			return nil, err
+		}
+		a.Add("WSE", fmt.Sprint(l), report.F(wp.LI))
+		res.Trace = append(res.Trace, trace.Record{Experiment: "figure8", Platform: "WSE-2", Config: fmt.Sprintf("L=%d", l), Metric: "LI", Value: wp.LI})
+		for _, mode := range []platform.CompileMode{platform.ModeO1, platform.ModeO3} {
+			spec := gptSpec(l)
+			spec.Batch = 4
+			spec.Precision = precision.BF16
+			spec.Par.Mode = mode
+			cr, err := r.Compile(spec)
+			if err != nil {
+				return nil, err
+			}
+			li, err := r.LoadImbalance(cr)
+			if err != nil {
+				return nil, err
+			}
+			a.Add(mode.String(), fmt.Sprint(l), report.F(li))
+			res.Trace = append(res.Trace, trace.Record{Experiment: "figure8", Platform: "RDU", Config: fmt.Sprintf("%s/L=%d", mode, l), Metric: "LI", Value: li})
+		}
+	}
+
+	b := report.New("Figure 8b — RDU LI vs. hidden size", "Mode", "Hidden", "LI")
+	for _, mode := range []platform.CompileMode{platform.ModeO1, platform.ModeO3} {
+		hs := workload.PaperHiddenPointsSmall()
+		fam := model.GPT2
+		if mode == platform.ModeO1 {
+			hs = workload.PaperHiddenPointsLarge()
+			fam = model.LLaMA2
+		}
+		for _, h := range hs {
+			spec := platform.TrainSpec{
+				Model: model.DecoderBlock(fam, h).WithLayers(8), Batch: 4, Seq: defaultSeq,
+				Precision: precision.BF16, Par: platform.Parallelism{Mode: mode},
+			}
+			cr, err := r.Compile(spec)
+			if err != nil {
+				return nil, err
+			}
+			li, err := r.LoadImbalance(cr)
+			if err != nil {
+				return nil, err
+			}
+			b.Add(mode.String(), fmt.Sprint(h), report.F(li))
+			res.Trace = append(res.Trace, trace.Record{Experiment: "figure8", Platform: "RDU", Config: fmt.Sprintf("%s/H=%d", mode, h), Metric: "LI", Value: li})
+		}
+	}
+	res.Tables = []*report.Table{a, b}
+	return res, nil
+}
+
+// Figure9 reproduces the memory/compute interaction per chip: the
+// WSE-2 percentage breakdown and TFLOPs (a), RDU TFLOPs vs. layers (b)
+// and hidden size (c), IPU memory and TFLOPs vs. layers (d).
+func Figure9() (*Result, error) {
+	res := &Result{ID: "figure9"}
+	w, r, i := wse.New(), rdu.New(), ipu.New()
+
+	a := report.New("Figure 9a — WSE-2 memory breakdown and TFLOPs (GPT-2 HS768)",
+		"Layers", "Config mem %", "Training mem %", "Total mem %", "TFLOPs")
+	for _, l := range []int{6, 12, 18, 24, 30, 36, 42, 48, 54, 60} {
+		cr, err := w.Compile(gptSpec(l))
+		if err != nil {
+			return nil, err
+		}
+		rr, err := w.Run(cr)
+		if err != nil {
+			return nil, err
+		}
+		cap := float64(cr.Memory.Capacity)
+		cfg := 100 * float64(cr.Memory.Config) / cap
+		train := 100 * float64(cr.Memory.Weights+cr.Memory.Activations) / cap
+		a.Add(fmt.Sprint(l), report.F(cfg), report.F(train), report.F(cfg+train), report.F(rr.Achieved.TFLOPS()))
+		res.Trace = append(res.Trace,
+			trace.Record{Experiment: "figure9", Platform: "WSE-2", Config: fmt.Sprintf("L=%d", l), Metric: "configMem%", Value: cfg},
+			trace.Record{Experiment: "figure9", Platform: "WSE-2", Config: fmt.Sprintf("L=%d", l), Metric: "TFLOPs", Value: rr.Achieved.TFLOPS()},
+		)
+	}
+
+	b := report.New("Figure 9b — RDU TFLOPs vs. layers (GPT-2 HS768)", "Mode", "Layers", "TFLOPs")
+	for _, mode := range rduModes {
+		for _, l := range []int{4, 8, 16, 24, 32, 40} {
+			spec := gptSpec(l)
+			spec.Batch = 4
+			spec.Precision = precision.BF16
+			spec.Par.Mode = mode
+			cr, err := r.Compile(spec)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := r.Run(cr)
+			if err != nil {
+				return nil, err
+			}
+			b.Add(mode.String(), fmt.Sprint(l), report.F(rr.Achieved.TFLOPS()))
+			res.Trace = append(res.Trace, trace.Record{Experiment: "figure9", Platform: "RDU", Config: fmt.Sprintf("%s/L=%d", mode, l), Metric: "TFLOPs", Value: rr.Achieved.TFLOPS()})
+		}
+	}
+
+	c := report.New("Figure 9c — RDU TFLOPs vs. hidden size", "Mode", "Hidden", "TFLOPs")
+	for _, mode := range rduModes {
+		hs := workload.PaperHiddenPointsSmall()
+		fam := model.GPT2
+		if mode == platform.ModeO1 {
+			hs = workload.PaperHiddenPointsLarge()
+			fam = model.LLaMA2
+		}
+		for _, h := range hs {
+			spec := platform.TrainSpec{
+				Model: model.DecoderBlock(fam, h).WithLayers(8), Batch: 4, Seq: defaultSeq,
+				Precision: precision.BF16, Par: platform.Parallelism{Mode: mode},
+			}
+			cr, err := r.Compile(spec)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := r.Run(cr)
+			if err != nil {
+				return nil, err
+			}
+			c.Add(mode.String(), fmt.Sprint(h), report.F(rr.Achieved.TFLOPS()))
+			res.Trace = append(res.Trace, trace.Record{Experiment: "figure9", Platform: "RDU", Config: fmt.Sprintf("%s/H=%d", mode, h), Metric: "TFLOPs", Value: rr.Achieved.TFLOPS()})
+		}
+	}
+
+	d := report.New("Figure 9d — IPU memory and TFLOPs vs. layers (GPT-2 HS768)",
+		"Layers", "Memory MB", "TFLOPs", "Status")
+	for _, l := range []int{1, 2, 4, 6, 8, 10} {
+		spec := platform.TrainSpec{
+			Model: model.GPT2Small().WithLayers(l), Batch: 2048, Seq: defaultSeq,
+			Precision: precision.FP16,
+		}
+		cr, err := i.Compile(spec)
+		if err != nil {
+			if !platform.IsCompileFailure(err) {
+				return nil, err
+			}
+			d.Add(fmt.Sprint(l), "-", "-", "Fail")
+			res.Trace = append(res.Trace, trace.Record{Experiment: "figure9", Platform: "IPU", Config: fmt.Sprintf("L=%d", l), Metric: "TFLOPs", Failed: true})
+			continue
+		}
+		rr, err := i.Run(cr)
+		if err != nil {
+			return nil, err
+		}
+		d.Add(fmt.Sprint(l), report.F(cr.Memory.Used().MB()), report.F(rr.Achieved.TFLOPS()), "ok")
+		res.Trace = append(res.Trace,
+			trace.Record{Experiment: "figure9", Platform: "IPU", Config: fmt.Sprintf("L=%d", l), Metric: "memMB", Value: cr.Memory.Used().MB()},
+			trace.Record{Experiment: "figure9", Platform: "IPU", Config: fmt.Sprintf("L=%d", l), Metric: "TFLOPs", Value: rr.Achieved.TFLOPS()},
+		)
+	}
+	res.Tables = []*report.Table{a, b, c, d}
+	return res, nil
+}
+
+// Figure10 reproduces the per-chip rooflines at the global memory
+// tier.
+func Figure10() (*Result, error) {
+	res := &Result{ID: "figure10"}
+	tbl := report.New("Figure 10 — global-memory rooflines",
+		"Platform", "Workload", "AI FLOPs/B", "Achieved TFLOPs", "Bound TFLOPs", "Regime")
+
+	add := func(p platform.Platform, label string, spec platform.TrainSpec) error {
+		prof, err := core.Profile(p, spec)
+		if err != nil {
+			return err
+		}
+		tbl.Add(p.Name(), label, report.F(prof.Run.AI), report.F(prof.Run.Achieved.TFLOPS()),
+			report.F(prof.RooflineBound.TFLOPS()), prof.Regime.String())
+		res.Trace = append(res.Trace,
+			trace.Record{Experiment: "figure10", Platform: p.Name(), Config: label, Metric: "AI", Value: prof.Run.AI},
+			trace.Record{Experiment: "figure10", Platform: p.Name(), Config: label, Metric: "regime", Value: float64(prof.Regime), Note: prof.Regime.String()},
+		)
+		return nil
+	}
+
+	w := wse.New()
+	for _, l := range []int{1, 6, 12, 18, 24, 30, 36, 42} {
+		if err := add(w, fmt.Sprintf("%dL", l), gptSpec(l)); err != nil {
+			return nil, err
+		}
+	}
+	r := rdu.New()
+	for _, h := range workload.PaperHiddenPointsLarge() {
+		spec := platform.TrainSpec{
+			Model: model.DecoderBlock(model.LLaMA2, h).WithLayers(8), Batch: 4, Seq: defaultSeq,
+			Precision: precision.BF16, Par: platform.Parallelism{Mode: platform.ModeO1},
+		}
+		if err := add(r, fmt.Sprintf("H%d", h), spec); err != nil {
+			return nil, err
+		}
+	}
+	i := ipu.New()
+	for _, pt := range []struct {
+		label string
+		l     int
+	}{{"Low", 1}, {"Mid", 4}, {"High", 8}} {
+		spec := platform.TrainSpec{
+			Model: model.GPT2Small().WithLayers(pt.l), Batch: 2048, Seq: defaultSeq,
+			Precision: precision.FP16,
+		}
+		if err := add(i, pt.label, spec); err != nil {
+			return nil, err
+		}
+	}
+	res.Tables = []*report.Table{tbl}
+	return res, nil
+}
+
+// TableIII reproduces the multi-hardware scalability comparison.
+func TableIII() (*Result, error) {
+	res := &Result{ID: "table3"}
+	tbl := report.New("Table III — multi-hardware scalability",
+		"Device", "Configuration", "Model", "Throughput", "Unit")
+
+	addRow := func(dev, cfg, mdl string, v float64, unit string) {
+		tbl.Add(dev, cfg, mdl, report.F(v), unit)
+		res.Trace = append(res.Trace, trace.Record{
+			Experiment: "table3", Platform: dev, Model: mdl, Config: cfg,
+			Metric: unit, Value: v,
+		})
+	}
+
+	// WSE-2: intra-chip DP plus weight streaming.
+	w := wse.New()
+	wsePts := []struct {
+		cfg string
+		m   model.Config
+		par platform.Parallelism
+	}{
+		{"DP0", model.GPT2Small(), platform.Parallelism{}},
+		{"DP2", model.GPT2Small(), platform.Parallelism{DataParallel: 2}},
+		{"DP4", model.GPTMini(), platform.Parallelism{DataParallel: 4}},
+		{"DP8", model.GPTTiny(), platform.Parallelism{DataParallel: 8}},
+		{"Streaming", model.GPT2Small(), platform.Parallelism{WeightStreaming: true}},
+	}
+	for _, p := range wsePts {
+		spec := platform.TrainSpec{Model: p.m, Batch: defaultBatch, Seq: defaultSeq, Precision: precision.FP16, Par: p.par}
+		cr, err := w.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := w.Run(cr)
+		if err != nil {
+			return nil, err
+		}
+		addRow("WSE-2", p.cfg, p.m.Name, rr.TokensPerSec, "tokens/s")
+	}
+
+	// IPU: pipeline parallelism over layer ladders.
+	i := ipu.New()
+	ipuPts := []struct {
+		pp, layers int
+	}{{4, 6}, {4, 12}, {8, 18}, {8, 24}, {16, 30}, {16, 36}, {16, 42}, {16, 48}}
+	for _, p := range ipuPts {
+		spec := platform.TrainSpec{
+			Model: model.GPT2Small().WithLayers(p.layers), Batch: 2048, Seq: defaultSeq,
+			Precision: precision.FP16, Par: platform.Parallelism{PipelineParallel: p.pp},
+		}
+		cr, err := i.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := i.Run(cr)
+		if err != nil {
+			return nil, err
+		}
+		addRow("IPU", fmt.Sprintf("PP%d", p.pp), fmt.Sprintf("%dL", p.layers), rr.SamplesPerSec, "samples/s")
+	}
+
+	// RDU: tensor parallelism on LLaMA-2 7B.
+	r := rdu.New()
+	for _, tp := range []int{2, 4, 8} {
+		spec := platform.TrainSpec{
+			Model: model.LLaMA2_7B(), Batch: 8, Seq: 4096, Precision: precision.BF16,
+			Par: platform.Parallelism{Mode: platform.ModeO1, TensorParallel: tp},
+		}
+		cr, err := r.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.Run(cr)
+		if err != nil {
+			return nil, err
+		}
+		addRow("RDU", fmt.Sprintf("TP%d", tp), "llama2-7b", rr.TokensPerSec, "tokens/s")
+	}
+
+	// GPU reference: Megatron decompositions of GPT-2 XL.
+	g := gpu.New()
+	gpuPts := []struct{ tp, pp, dp int }{
+		{8, 1, 1}, {4, 2, 1}, {2, 4, 1}, {1, 8, 1}, {8, 8, 16}, {4, 4, 64},
+	}
+	for _, p := range gpuPts {
+		spec := platform.TrainSpec{
+			Model: model.GPT2XL(), Batch: 64, Seq: defaultSeq, Precision: precision.BF16,
+			Par: platform.Parallelism{TensorParallel: p.tp, PipelineParallel: p.pp, DataParallel: p.dp},
+		}
+		cr, err := g.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := g.Run(cr)
+		if err != nil {
+			return nil, err
+		}
+		addRow("GPU", fmt.Sprintf("T%dP%dD%d", p.tp, p.pp, p.dp), "gpt2-xl", rr.SamplesPerSec, "samples/s")
+	}
+
+	res.Tables = []*report.Table{tbl}
+	return res, nil
+}
+
+// Figure11 reproduces the scalability details: WSE replica throughput
+// (a), RDU allocation vs TP (b), IPU throughput vs layer allocation (c).
+func Figure11() (*Result, error) {
+	res := &Result{ID: "figure11"}
+
+	a := report.New("Figure 11a — WSE throughput vs. replicas (2/small, 4/mini, 8/tiny)",
+		"Replicas", "Throughput tokens/s", "Computation-only tokens/s")
+	w := wse.New()
+	pairs := []struct {
+		repl int
+		m    model.Config
+	}{{2, model.GPT2Small()}, {4, model.GPTMini()}, {8, model.GPTTiny()}}
+	for _, pr := range pairs {
+		repl := pr.repl
+		spec := platform.TrainSpec{
+			Model: pr.m, Batch: defaultBatch, Seq: defaultSeq, Precision: precision.FP16,
+			Par: platform.Parallelism{DataParallel: repl},
+		}
+		cr, err := w.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := w.Run(cr)
+		if err != nil {
+			return nil, err
+		}
+		// Computation-only = the throughput with the replica
+		// communication penalty removed (the gap of Figure 11a).
+		penalty := 1.0
+		if repl > 2 {
+			penalty = 1 / (1 + 0.05*float64(repl-2))
+		}
+		a.Add(fmt.Sprint(repl), report.F(rr.TokensPerSec), report.F(rr.TokensPerSec/penalty))
+		res.Trace = append(res.Trace, trace.Record{Experiment: "figure11", Platform: "WSE-2", Config: fmt.Sprintf("DP%d", repl), Metric: "tokens/s", Value: rr.TokensPerSec})
+	}
+
+	b := report.New("Figure 11b — RDU utilization vs. TP count (LLaMA-2 7B)",
+		"TP", "PCU %", "PMU %")
+	r := rdu.New()
+	for _, tp := range []int{2, 4, 8} {
+		spec := platform.TrainSpec{
+			Model: model.LLaMA2_7B(), Batch: 8, Seq: 4096, Precision: precision.BF16,
+			Par: platform.Parallelism{Mode: platform.ModeO1, TensorParallel: tp},
+		}
+		cr, err := r.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		pcu := 100 * cr.AllocationRatio(platform.ResPCU)
+		pmu := 100 * cr.AllocationRatio(platform.ResPMU)
+		b.Add(fmt.Sprint(tp), report.F(pcu), report.F(pmu))
+		res.Trace = append(res.Trace,
+			trace.Record{Experiment: "figure11", Platform: "RDU", Config: fmt.Sprintf("TP%d", tp), Metric: "pcu%", Value: pcu},
+			trace.Record{Experiment: "figure11", Platform: "RDU", Config: fmt.Sprintf("TP%d", tp), Metric: "pmu%", Value: pmu},
+		)
+	}
+
+	c := report.New("Figure 11c — IPU throughput vs. layer allocation",
+		"Assignment", "Max layers/IPU", "Samples/s")
+	i := ipu.New()
+	assignments := [][]int{
+		{2}, {4}, {6}, {8},
+		{2, 2, 1, 1, 1, 1}, {1, 1, 1, 1, 2, 2},
+		{4, 4, 4, 2, 2, 2}, {6, 5, 5, 3, 3, 3}, {6, 3, 3, 2, 2, 2},
+	}
+	for _, assign := range assignments {
+		total, maxL := 0, 0
+		for _, v := range assign {
+			total += v
+			if v > maxL {
+				maxL = v
+			}
+		}
+		spec := platform.TrainSpec{
+			Model: model.GPT2Small().WithLayers(total), Batch: 2048, Seq: defaultSeq,
+			Precision: precision.FP16,
+			Par: platform.Parallelism{
+				PipelineParallel: len(assign) + 1, LayerAssignment: assign,
+			},
+		}
+		if len(assign) == 1 {
+			spec.Par = platform.Parallelism{} // single-IPU points
+		}
+		cr, err := i.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := i.Run(cr)
+		if err != nil {
+			return nil, err
+		}
+		c.Add(fmt.Sprint(assign), fmt.Sprint(maxL), report.F(rr.SamplesPerSec))
+		res.Trace = append(res.Trace, trace.Record{Experiment: "figure11", Platform: "IPU", Config: fmt.Sprint(assign), Metric: "samples/s", Value: rr.SamplesPerSec})
+	}
+
+	res.Tables = []*report.Table{a, b, c}
+	return res, nil
+}
+
+// Figure12 reproduces the batch-size scaling per platform via the
+// Tier-2 deployment optimizer.
+func Figure12() (*Result, error) {
+	res := &Result{ID: "figure12"}
+	tbl := report.New("Figure 12 — throughput vs. batch size", "Platform", "Batch", "Tokens/s")
+
+	cases := []struct {
+		p       platform.Platform
+		spec    platform.TrainSpec
+		batches []int
+	}{
+		{wse.New(), platform.TrainSpec{Model: model.GPT2Small(), Seq: defaultSeq, Batch: 1, Precision: precision.FP16},
+			[]int{25, 50, 100, 200, 400, 800, 1000}},
+		{rdu.New(), platform.TrainSpec{Model: model.LLaMA2_7B(), Seq: 4096, Batch: 1, Precision: precision.BF16,
+			Par: platform.Parallelism{Mode: platform.ModeO1, TensorParallel: 2}},
+			[]int{4, 6, 8, 10, 12, 14, 16}},
+		{ipu.New(), platform.TrainSpec{Model: model.GPT2Small().WithLayers(4), Seq: defaultSeq, Batch: 1, Precision: precision.Mixed},
+			[]int{50, 75, 100, 125, 150, 175, 200, 225}},
+	}
+	for _, c := range cases {
+		rep, err := core.Deployment(c.p, c.spec, c.batches, []precision.Format{c.spec.Precision})
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range rep.BatchCurve {
+			tbl.Add(c.p.Name(), pt.Label, report.F(pt.TokensPerSec))
+			res.Trace = append(res.Trace, trace.Record{Experiment: "figure12", Platform: c.p.Name(), Config: pt.Label, Metric: "tokens/s", Value: pt.TokensPerSec})
+		}
+	}
+	res.Tables = []*report.Table{tbl}
+	return res, nil
+}
+
+// TableIV reproduces the mixed-precision throughput comparison.
+func TableIV() (*Result, error) {
+	res := &Result{ID: "table4"}
+	tbl := report.New("Table IV — precision impact", "Platform", "Format", "Tokens/s", "Gain vs baseline")
+
+	cases := []struct {
+		p       platform.Platform
+		spec    platform.TrainSpec
+		formats []precision.Format
+	}{
+		{ipu.New(), platform.TrainSpec{Model: model.GPT2Small().WithLayers(2), Batch: 2048, Seq: defaultSeq, Precision: precision.FP32},
+			[]precision.Format{precision.FP32, precision.Mixed}},
+		{wse.New(), platform.TrainSpec{Model: model.GPT2Small(), Batch: defaultBatch, Seq: defaultSeq, Precision: precision.FP16},
+			[]precision.Format{precision.FP16, precision.CB16}},
+		{rdu.New(), platform.TrainSpec{Model: model.LLaMA2_7B(), Batch: 8, Seq: 4096, Precision: precision.BF16,
+			Par: platform.Parallelism{Mode: platform.ModeO1, TensorParallel: 2}},
+			[]precision.Format{precision.BF16, precision.Mixed}},
+	}
+	for _, c := range cases {
+		base := 0.0
+		for idx, f := range c.formats {
+			spec := c.spec
+			spec.Precision = f
+			cr, err := c.p.Compile(spec)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := c.p.Run(cr)
+			if err != nil {
+				return nil, err
+			}
+			gain := "-"
+			if idx == 0 {
+				base = rr.TokensPerSec
+			} else if base > 0 {
+				gain = fmt.Sprintf("+%.1f%%", 100*(rr.TokensPerSec/base-1))
+			}
+			tbl.Add(c.p.Name(), f.String(), report.F(rr.TokensPerSec), gain)
+			res.Trace = append(res.Trace, trace.Record{Experiment: "table4", Platform: c.p.Name(), Config: f.String(), Metric: "tokens/s", Value: rr.TokensPerSec})
+		}
+	}
+	res.Tables = []*report.Table{tbl}
+	return res, nil
+}

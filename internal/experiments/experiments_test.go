@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"dabench/internal/trace"
+)
+
+// TestAllExperimentsRun executes every paper artifact end to end and
+// validates the structural invariants: tables with rows, trace records,
+// and the expected failure entries (Table I at 78 layers, Figure 9d at
+// 10 layers).
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := All()[id]()
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID = %q", res.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("table %q has no rows", tbl.Title)
+				}
+				var buf bytes.Buffer
+				if err := tbl.WriteText(&buf); err != nil {
+					t.Errorf("render: %v", err)
+				}
+			}
+			if len(res.Trace) == 0 {
+				t.Error("no trace records")
+			}
+		})
+	}
+}
+
+func TestTableIRecordsFailureAt78(t *testing.T) {
+	res, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for _, r := range res.Trace {
+		if r.Config == "L=78" && r.Failed {
+			failed = true
+		}
+		if r.Config == "L=72" && r.Failed {
+			t.Error("72 layers should compile")
+		}
+	}
+	if !failed {
+		t.Error("78 layers should be recorded as Fail (paper Table I)")
+	}
+}
+
+func TestFigure9IPUFailureAt10(t *testing.T) {
+	res, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for _, r := range res.Trace {
+		if r.Platform == "IPU" && r.Config == "L=10" && r.Failed {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Error("IPU at 10 layers should be recorded as Fail (paper Figure 9d)")
+	}
+}
+
+func TestTraceAggregation(t *testing.T) {
+	res, err := TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := trace.Analyze(res.Trace)
+	if len(sums) == 0 {
+		t.Fatal("no summaries")
+	}
+	for _, s := range sums {
+		if s.Count == 0 && s.Failures == 0 {
+			t.Errorf("empty summary %+v", s)
+		}
+	}
+}
+
+func TestTableIIIOrderings(t *testing.T) {
+	res, err := TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(platform, cfg string) float64 {
+		for _, r := range res.Trace {
+			if r.Platform == platform && r.Config == cfg {
+				return r.Value
+			}
+		}
+		t.Fatalf("missing %s/%s", platform, cfg)
+		return 0
+	}
+	// RDU: cross-machine TP collapse (paper: 1540 -> 945).
+	if !(get("RDU", "TP2") > get("RDU", "TP4")) {
+		t.Error("TP2 should beat TP4")
+	}
+	// IPU: throughput inversely related to max layers per IPU.
+	if !(get("IPU", "PP4") > 0) {
+		t.Error("missing IPU rows")
+	}
+	// GPU: TP-heavy beats PP-heavy.
+	if !(get("GPU", "T8P1D1") > get("GPU", "T1P8D1")) {
+		t.Error("T8P1D1 should beat T1P8D1")
+	}
+	// WSE: weight streaming ≈ 0.8× of in-memory execution.
+	ratio := get("WSE-2", "Streaming") / get("WSE-2", "DP0")
+	if ratio < 0.75 || ratio > 0.85 {
+		t.Errorf("streaming ratio = %v, want ≈0.8", ratio)
+	}
+}

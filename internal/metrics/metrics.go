@@ -1,0 +1,162 @@
+// Package metrics implements the Tier-1 metric definitions of
+// DABench-LLM exactly as the paper states them:
+//
+//   - Eq. 1  resource allocation ratio          U = R_used / R_all
+//   - Eq. 2  time-weighted allocation ratio     U = Σ Lᵢ(Rᵢ/R_all) / Σ Lᵢ
+//   - Eq. 3  load imbalance                     LI = Σ (T_min/Tᵢ)·Rᵢ / Σ Rᵢ
+//   - Eq. 4  time-weighted load imbalance       LI = Σ Lᵢ·LIᵢ / Σ Lᵢ
+//   - Eq. 5  arithmetic intensity               AI = 6PBS / (4P + ActMem)
+//
+// LI lies in (0,1]; values near 1 indicate good balance. The metric is
+// granularity-sensitive, so cross-platform LI comparisons are not
+// meaningful (the paper evaluates WSE at kernel level and RDU at
+// operator level) — the functions here take whatever task list the
+// caller provides.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"dabench/internal/units"
+)
+
+// TaskSample is one task's allocation and achieved throughput, the
+// input row for the load-imbalance metric.
+type TaskSample struct {
+	Name       string
+	Resources  float64 // units allocated to the task (PEs, PCUs, ...)
+	Throughput float64 // achieved task throughput (any consistent unit)
+}
+
+// AllocationRatio implements Eq. 1. It returns an error when the
+// capacity is non-positive; a usage exceeding capacity is clamped to 1
+// (compiler reports can double-count shared units).
+func AllocationRatio(used, capacity float64) (float64, error) {
+	if capacity <= 0 {
+		return 0, fmt.Errorf("metrics: capacity %v must be positive", capacity)
+	}
+	if used < 0 {
+		return 0, fmt.Errorf("metrics: usage %v must be non-negative", used)
+	}
+	return units.Clamp(used/capacity, 0, 1), nil
+}
+
+// WeightedSample pairs a phase's runtime with its resource usage, the
+// input row for Eq. 2 (the RDU executes sections one at a time, so the
+// chip-level ratio is the runtime-weighted mean of section ratios).
+type WeightedSample struct {
+	Name    string
+	Runtime units.Seconds
+	Used    float64
+}
+
+// WeightedAllocationRatio implements Eq. 2.
+func WeightedAllocationRatio(samples []WeightedSample, capacity float64) (float64, error) {
+	if capacity <= 0 {
+		return 0, fmt.Errorf("metrics: capacity %v must be positive", capacity)
+	}
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("metrics: no samples")
+	}
+	var num, den float64
+	for _, s := range samples {
+		if s.Runtime < 0 {
+			return 0, fmt.Errorf("metrics: sample %q has negative runtime", s.Name)
+		}
+		num += float64(s.Runtime) * units.Clamp(s.Used/capacity, 0, 1)
+		den += float64(s.Runtime)
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("metrics: total runtime is zero")
+	}
+	return num / den, nil
+}
+
+// LoadImbalance implements Eq. 3 over a set of concurrently executing
+// tasks. Returns 1 for a single task (perfect balance by definition).
+func LoadImbalance(tasks []TaskSample) (float64, error) {
+	if len(tasks) == 0 {
+		return 0, fmt.Errorf("metrics: no tasks")
+	}
+	tmin := math.Inf(1)
+	var totalR float64
+	for _, t := range tasks {
+		if t.Throughput <= 0 {
+			return 0, fmt.Errorf("metrics: task %q has non-positive throughput", t.Name)
+		}
+		if t.Resources < 0 {
+			return 0, fmt.Errorf("metrics: task %q has negative resources", t.Name)
+		}
+		if t.Throughput < tmin {
+			tmin = t.Throughput
+		}
+		totalR += t.Resources
+	}
+	if totalR == 0 {
+		return 0, fmt.Errorf("metrics: total resources are zero")
+	}
+	var sum float64
+	for _, t := range tasks {
+		sum += (tmin / t.Throughput) * t.Resources
+	}
+	return sum / totalR, nil
+}
+
+// WeightedLI is one section's LI with its runtime, the input for Eq. 4.
+type WeightedLI struct {
+	Name    string
+	Runtime units.Seconds
+	LI      float64
+}
+
+// TimeWeightedLI implements Eq. 4.
+func TimeWeightedLI(sections []WeightedLI) (float64, error) {
+	if len(sections) == 0 {
+		return 0, fmt.Errorf("metrics: no sections")
+	}
+	var num, den float64
+	for _, s := range sections {
+		if s.Runtime < 0 {
+			return 0, fmt.Errorf("metrics: section %q has negative runtime", s.Name)
+		}
+		if s.LI < 0 || s.LI > 1 {
+			return 0, fmt.Errorf("metrics: section %q LI %v outside [0,1]", s.Name, s.LI)
+		}
+		num += float64(s.Runtime) * s.LI
+		den += float64(s.Runtime)
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("metrics: total runtime is zero")
+	}
+	return num / den, nil
+}
+
+// ArithmeticIntensity implements Eq. 5 directly from its terms:
+// params P, batch B, sequence length S and the activation memory
+// estimate in bytes. The constant 6 covers forward (2×) plus backward
+// (4×) FLOPs per token; the denominator is weight traffic (4 bytes per
+// parameter) plus activation traffic.
+func ArithmeticIntensity(params int64, batch, seq int, activationBytes units.Bytes) (float64, error) {
+	if params <= 0 || batch <= 0 || seq <= 0 {
+		return 0, fmt.Errorf("metrics: P=%d B=%d S=%d must be positive", params, batch, seq)
+	}
+	if activationBytes < 0 {
+		return 0, fmt.Errorf("metrics: negative activation memory")
+	}
+	p := float64(params)
+	num := 6 * p * float64(batch) * float64(seq)
+	den := 4*p + float64(activationBytes)
+	return num / den, nil
+}
+
+// ComputeEfficiency returns achieved/peak, clamped to [0,1].
+func ComputeEfficiency(achieved, peak units.FLOPSRate) (float64, error) {
+	if peak <= 0 {
+		return 0, fmt.Errorf("metrics: peak %v must be positive", peak)
+	}
+	if achieved < 0 {
+		return 0, fmt.Errorf("metrics: achieved %v must be non-negative", achieved)
+	}
+	return units.Clamp(float64(achieved)/float64(peak), 0, 1), nil
+}

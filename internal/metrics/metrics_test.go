@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocationRatio(t *testing.T) {
+	got, err := AllocationRatio(790000, 850000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9294117647) > 1e-9 {
+		t.Errorf("ratio = %v", got)
+	}
+	if v, _ := AllocationRatio(900, 800); v != 1 {
+		t.Errorf("over-capacity should clamp to 1, got %v", v)
+	}
+	if _, err := AllocationRatio(1, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := AllocationRatio(-1, 10); err == nil {
+		t.Error("negative usage accepted")
+	}
+}
+
+func TestWeightedAllocationRatio(t *testing.T) {
+	// Two sections: 2s at 50%, 1s at 80% → (2·0.5 + 1·0.8)/3 = 0.6.
+	samples := []WeightedSample{
+		{Name: "s0", Runtime: 2, Used: 320},
+		{Name: "s1", Runtime: 1, Used: 512},
+	}
+	got, err := WeightedAllocationRatio(samples, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("weighted ratio = %v, want 0.6", got)
+	}
+	if _, err := WeightedAllocationRatio(nil, 640); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := WeightedAllocationRatio(samples, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := WeightedAllocationRatio([]WeightedSample{{Runtime: -1, Used: 1}}, 10); err == nil {
+		t.Error("negative runtime accepted")
+	}
+	if _, err := WeightedAllocationRatio([]WeightedSample{{Runtime: 0, Used: 1}}, 10); err == nil {
+		t.Error("zero total runtime accepted")
+	}
+}
+
+func TestLoadImbalancePerfect(t *testing.T) {
+	tasks := []TaskSample{
+		{Name: "a", Resources: 100, Throughput: 10},
+		{Name: "b", Resources: 200, Throughput: 10},
+	}
+	got, err := LoadImbalance(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform throughput LI = %v, want 1", got)
+	}
+}
+
+func TestLoadImbalanceSkewed(t *testing.T) {
+	// One task 4× faster than the other, equal resources:
+	// LI = (1·R + 0.25·R) / 2R = 0.625.
+	tasks := []TaskSample{
+		{Name: "slow", Resources: 50, Throughput: 5},
+		{Name: "fast", Resources: 50, Throughput: 20},
+	}
+	got, err := LoadImbalance(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.625) > 1e-12 {
+		t.Errorf("LI = %v, want 0.625", got)
+	}
+}
+
+func TestLoadImbalanceSingleTask(t *testing.T) {
+	got, err := LoadImbalance([]TaskSample{{Name: "solo", Resources: 10, Throughput: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("single task LI = %v, want 1", got)
+	}
+}
+
+func TestLoadImbalanceErrors(t *testing.T) {
+	if _, err := LoadImbalance(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := LoadImbalance([]TaskSample{{Throughput: 0, Resources: 1}}); err == nil {
+		t.Error("zero throughput accepted")
+	}
+	if _, err := LoadImbalance([]TaskSample{{Throughput: 1, Resources: -1}}); err == nil {
+		t.Error("negative resources accepted")
+	}
+	if _, err := LoadImbalance([]TaskSample{{Throughput: 1, Resources: 0}, {Throughput: 2, Resources: 0}}); err == nil {
+		t.Error("zero total resources accepted")
+	}
+}
+
+func TestTimeWeightedLI(t *testing.T) {
+	secs := []WeightedLI{
+		{Name: "s0", Runtime: 3, LI: 0.9},
+		{Name: "s1", Runtime: 1, LI: 0.5},
+	}
+	got, err := TimeWeightedLI(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("weighted LI = %v, want 0.8", got)
+	}
+	if _, err := TimeWeightedLI(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := TimeWeightedLI([]WeightedLI{{Runtime: 1, LI: 1.5}}); err == nil {
+		t.Error("LI > 1 accepted")
+	}
+	if _, err := TimeWeightedLI([]WeightedLI{{Runtime: 0, LI: 0.5}}); err == nil {
+		t.Error("zero total runtime accepted")
+	}
+}
+
+func TestArithmeticIntensityEq5(t *testing.T) {
+	// Hand-computed: P=1e6, B=2, S=100, act=4e6 bytes:
+	// AI = 6e6·200 / (4e6+4e6) = 150.
+	got, err := ArithmeticIntensity(1e6, 2, 100, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-150) > 1e-9 {
+		t.Errorf("AI = %v, want 150", got)
+	}
+	if _, err := ArithmeticIntensity(0, 1, 1, 0); err == nil {
+		t.Error("zero params accepted")
+	}
+	if _, err := ArithmeticIntensity(1, 1, 1, -1); err == nil {
+		t.Error("negative activation accepted")
+	}
+}
+
+func TestComputeEfficiency(t *testing.T) {
+	got, err := ComputeEfficiency(338e12, 1.7e15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's WSE-2 peak efficiency ≈ 20%.
+	if math.Abs(got-0.1988) > 1e-3 {
+		t.Errorf("efficiency = %v, want ≈0.199", got)
+	}
+	if _, err := ComputeEfficiency(1, 0); err == nil {
+		t.Error("zero peak accepted")
+	}
+	if v, _ := ComputeEfficiency(2e15, 1.7e15); v != 1 {
+		t.Error("efficiency should clamp to 1")
+	}
+}
+
+// Property: LI is always in (0, 1] and equals 1 iff all throughputs are
+// equal (up to float noise), independent of resource scaling.
+func TestLIBoundsProperty(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		tasks := []TaskSample{
+			{Name: "a", Resources: float64(a%100) + 1, Throughput: float64(a%7) + 1},
+			{Name: "b", Resources: float64(b%100) + 1, Throughput: float64(b%7) + 1},
+			{Name: "c", Resources: float64(c%100) + 1, Throughput: float64(c%7) + 1},
+		}
+		li, err := LoadImbalance(tasks)
+		if err != nil {
+			return false
+		}
+		return li > 0 && li <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LI is invariant under uniform throughput scaling.
+func TestLIScaleInvariance(t *testing.T) {
+	f := func(a, b uint16, scale uint8) bool {
+		s := float64(scale%50) + 1
+		t1 := []TaskSample{
+			{Resources: 10, Throughput: float64(a%9) + 1},
+			{Resources: 20, Throughput: float64(b%9) + 1},
+		}
+		t2 := []TaskSample{
+			{Resources: 10, Throughput: (float64(a%9) + 1) * s},
+			{Resources: 20, Throughput: (float64(b%9) + 1) * s},
+		}
+		l1, err1 := LoadImbalance(t1)
+		l2, err2 := LoadImbalance(t2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(l1-l2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

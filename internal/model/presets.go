@@ -1,0 +1,121 @@
+package model
+
+// Preset configurations matching the models used in the paper's
+// experiments. GPT "mini/tiny/small" follow the paper's hidden sizes
+// (256/512/768); the larger GPT-2 variants follow the published GPT-2
+// family; LLaMA-2 sizes follow the Meta release.
+
+// GPT2Config builds a GPT-2-style config with the given width, depth
+// and head count.
+func GPT2Config(name string, hidden, layers, heads int) Config {
+	return Config{
+		Name:           name,
+		Family:         GPT2,
+		HiddenSize:     hidden,
+		NumLayers:      layers,
+		NumHeads:       heads,
+		KVHeads:        heads,
+		FFNHidden:      4 * hidden,
+		VocabSize:      50257,
+		MaxSeqLen:      1024,
+		TiedEmbeddings: true,
+		LearnedPos:     true,
+		Norm:           LayerNorm,
+		Activation:     GELU,
+	}
+}
+
+// LLaMA2Config builds a LLaMA-2-style config.
+func LLaMA2Config(name string, hidden, layers, heads, kvHeads int) Config {
+	return Config{
+		Name:           name,
+		Family:         LLaMA2,
+		HiddenSize:     hidden,
+		NumLayers:      layers,
+		NumHeads:       heads,
+		KVHeads:        kvHeads,
+		FFNHidden:      swigluWidth(hidden),
+		VocabSize:      32000,
+		MaxSeqLen:      4096,
+		TiedEmbeddings: false,
+		LearnedPos:     false,
+		Norm:           RMSNorm,
+		Activation:     SwiGLU,
+	}
+}
+
+// GPTMini is the paper's "mini" model (hidden size 256).
+func GPTMini() Config { return GPT2Config("gpt-mini", 256, 4, 4) }
+
+// GPTTiny is the paper's "tiny" model (hidden size 512).
+func GPTTiny() Config { return GPT2Config("gpt-tiny", 512, 6, 8) }
+
+// GPT2Small is GPT-2 124M (hidden size 768, 12 layers) — the paper's
+// basic intra-chip unit.
+func GPT2Small() Config { return GPT2Config("gpt2-small", 768, 12, 12) }
+
+// GPT2Medium is GPT-2 355M.
+func GPT2Medium() Config { return GPT2Config("gpt2-medium", 1024, 24, 16) }
+
+// GPT2Large is GPT-2 774M.
+func GPT2Large() Config { return GPT2Config("gpt2-large", 1280, 36, 20) }
+
+// GPT2XL is GPT-2 1.5B — the paper's GPU-reference "xlarge" workload.
+func GPT2XL() Config { return GPT2Config("gpt2-xl", 1600, 48, 25) }
+
+// LLaMA2_7B is the 7-billion-parameter LLaMA-2 used for the paper's
+// RDU O1 and tensor-parallel experiments.
+func LLaMA2_7B() Config { return LLaMA2Config("llama2-7b", 4096, 32, 32, 32) }
+
+// LLaMA2_13B is LLaMA-2 13B.
+func LLaMA2_13B() Config { return LLaMA2Config("llama2-13b", 5120, 40, 40, 40) }
+
+// LLaMA2_70B is LLaMA-2 70B (grouped-query attention, 8 KV heads).
+// The release uses an FFN multiplier of 1.3, giving a 28672-wide MLP
+// rather than the default swiglu sizing.
+func LLaMA2_70B() Config {
+	c := LLaMA2Config("llama2-70b", 8192, 80, 64, 8)
+	c.FFNHidden = 28672
+	return c
+}
+
+// DecoderBlock returns a single-decoder-block model with the family's
+// conventions at hidden size h — the paper's fundamental evaluation
+// unit ("full-scale LLMs are impractical for single-chip analysis").
+func DecoderBlock(f Family, h int) Config {
+	heads := headsFor(h)
+	switch f {
+	case LLaMA2:
+		return LLaMA2Config("llama2-block", h, 1, heads, heads)
+	default:
+		return GPT2Config("gpt2-block", h, 1, heads)
+	}
+}
+
+// headsFor picks a head count giving the largest power-of-two head
+// dimension ≤ 64 that divides h, so arbitrary sweep widths validate.
+func headsFor(h int) int {
+	dim := 64
+	for dim > 1 && h%dim != 0 {
+		dim /= 2
+	}
+	return h / dim
+}
+
+// Presets returns every named preset, for CLI listing and tests.
+func Presets() []Config {
+	return []Config{
+		GPTMini(), GPTTiny(), GPT2Small(), GPT2Medium(), GPT2Large(), GPT2XL(),
+		LLaMA2_7B(), LLaMA2_13B(), LLaMA2_70B(),
+	}
+}
+
+// ByName finds a preset by name.
+func ByName(name string) (Config, bool) {
+	for _, c := range Presets() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}

@@ -1,0 +1,136 @@
+// Package precision models the numeric formats supported by the
+// accelerators benchmarked in DABench-LLM and the effect a format choice
+// has on memory footprint and achievable compute throughput.
+//
+// The paper's Table IV evaluates FP32 ("full"), FP16, BF16, Cerebras'
+// CB16 and vendor mixed-precision modes; the relative gains differ
+// sharply per platform (RDU +34.3%, IPU +22.0%, WSE +10.7%), which is
+// why precision is a first-class deployment knob in Tier 2.
+package precision
+
+import "fmt"
+
+// Format identifies a numeric format or a vendor mixed-precision mode.
+type Format int
+
+// The formats referenced by the paper.
+const (
+	FP32 Format = iota
+	FP16
+	BF16
+	// CB16 is Cerebras' 16-bit format (a brain-float variant with a
+	// hardware-assisted stochastic rounding path).
+	CB16
+	// Mixed denotes the vendor's mixed-precision training mode:
+	// 16-bit compute with FP32 master weights and accumulations.
+	Mixed
+)
+
+var names = map[Format]string{
+	FP32:  "FP32",
+	FP16:  "FP16",
+	BF16:  "BF16",
+	CB16:  "CB16",
+	Mixed: "Mixed",
+}
+
+// String returns the conventional name of the format.
+func (f Format) String() string {
+	if s, ok := names[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// Parse converts a name such as "fp16" or "mixed" into a Format.
+func Parse(s string) (Format, error) {
+	for f, name := range names {
+		if equalFold(name, s) {
+			return f, nil
+		}
+	}
+	return FP32, fmt.Errorf("precision: unknown format %q", s)
+}
+
+// equalFold is a tiny ASCII case-insensitive comparison; the format
+// names are pure ASCII so strings.EqualFold would be equivalent.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// BytesPerElement returns the storage size of one tensor element.
+// Mixed mode stores activations and weights in 16 bits (the FP32 master
+// copy is accounted separately by the optimizer-state model).
+func (f Format) BytesPerElement() float64 {
+	switch f {
+	case FP32:
+		return 4
+	case FP16, BF16, CB16, Mixed:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Is16Bit reports whether compute happens in a 16-bit datapath.
+func (f Format) Is16Bit() bool { return f != FP32 }
+
+// MasterWeightBytes returns the extra bytes per parameter kept for the
+// FP32 master copy under mixed-precision training, 0 otherwise.
+func (f Format) MasterWeightBytes() float64 {
+	if f == Mixed {
+		return 4
+	}
+	return 0
+}
+
+// ComputeFactor returns the achievable-throughput multiplier of the
+// format relative to the platform's FP32 datapath, for the platform's
+// native speedup ratio ratio16 (peak 16-bit over peak 32-bit).
+//
+// Mixed precision does not reach the full 16-bit peak because a fraction
+// of the step (master-weight update, loss scaling) stays in FP32; the
+// paper's Table IV deltas are reproduced by each simulator picking its
+// ratio16 and mixedOverhead in calibration.
+func (f Format) ComputeFactor(ratio16, mixedOverhead float64) float64 {
+	if ratio16 < 1 {
+		ratio16 = 1
+	}
+	switch f {
+	case FP32:
+		return 1
+	case FP16, BF16, CB16:
+		return ratio16
+	case Mixed:
+		oh := mixedOverhead
+		if oh < 0 {
+			oh = 0
+		}
+		if oh > 0.9 {
+			oh = 0.9
+		}
+		// Amdahl-style blend: (1-oh) of the work runs at the 16-bit
+		// rate, oh remains at the FP32 rate.
+		return 1 / ((1-oh)/ratio16 + oh)
+	default:
+		return 1
+	}
+}
+
+// All returns every defined format in declaration order.
+func All() []Format { return []Format{FP32, FP16, BF16, CB16, Mixed} }

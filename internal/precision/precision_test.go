@@ -1,0 +1,120 @@
+package precision
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestString(t *testing.T) {
+	cases := map[Format]string{
+		FP32: "FP32", FP16: "FP16", BF16: "BF16", CB16: "CB16", Mixed: "Mixed",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(f), got, want)
+		}
+	}
+	if got := Format(99).String(); got != "Format(99)" {
+		t.Errorf("unknown format String() = %q", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, f := range All() {
+		got, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", f.String(), err)
+		}
+		if got != f {
+			t.Errorf("Parse(%q) = %v, want %v", f.String(), got, f)
+		}
+	}
+	if _, err := Parse("int8"); err == nil {
+		t.Error("Parse(int8) should fail")
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	for _, s := range []string{"fp16", "Fp16", "FP16", "bF16", "mixed", "MIXED"} {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+}
+
+func TestBytesPerElement(t *testing.T) {
+	if FP32.BytesPerElement() != 4 {
+		t.Error("FP32 should be 4 bytes")
+	}
+	for _, f := range []Format{FP16, BF16, CB16, Mixed} {
+		if f.BytesPerElement() != 2 {
+			t.Errorf("%v should be 2 bytes", f)
+		}
+	}
+}
+
+func TestMasterWeightBytes(t *testing.T) {
+	if Mixed.MasterWeightBytes() != 4 {
+		t.Error("Mixed keeps a 4-byte master copy")
+	}
+	for _, f := range []Format{FP32, FP16, BF16, CB16} {
+		if f.MasterWeightBytes() != 0 {
+			t.Errorf("%v should have no master copy", f)
+		}
+	}
+}
+
+func TestComputeFactorOrdering(t *testing.T) {
+	// Pure 16-bit beats mixed, which beats FP32, for any sane ratio.
+	ratio16, oh := 2.0, 0.15
+	full := FP32.ComputeFactor(ratio16, oh)
+	mixed := Mixed.ComputeFactor(ratio16, oh)
+	half := BF16.ComputeFactor(ratio16, oh)
+	if !(full < mixed && mixed < half) {
+		t.Errorf("ordering violated: full=%v mixed=%v half=%v", full, mixed, half)
+	}
+	if full != 1 {
+		t.Errorf("FP32 factor = %v, want 1", full)
+	}
+	if half != ratio16 {
+		t.Errorf("BF16 factor = %v, want %v", half, ratio16)
+	}
+}
+
+func TestComputeFactorDegenerate(t *testing.T) {
+	// ratio16 < 1 is clamped so 16-bit never loses to FP32.
+	if got := FP16.ComputeFactor(0.5, 0); got != 1 {
+		t.Errorf("clamped factor = %v, want 1", got)
+	}
+	// Zero overhead mixed reaches the 16-bit peak.
+	if got := Mixed.ComputeFactor(3, 0); got != 3 {
+		t.Errorf("zero-overhead mixed = %v, want 3", got)
+	}
+}
+
+// Property: mixed precision factor is always within [1, ratio16].
+func TestMixedFactorBounds(t *testing.T) {
+	f := func(r, oh float64) bool {
+		ratio := 1 + abs(r, 7)
+		overhead := abs(oh, 0.9)
+		got := Mixed.ComputeFactor(ratio, overhead)
+		return got >= 1-1e-9 && got <= ratio+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// abs folds an arbitrary float into [0, cap].
+func abs(v, cap float64) float64 {
+	if v != v || v > 1e300 || v < -1e300 { // NaN or effectively infinite
+		return cap
+	}
+	if v < 0 {
+		v = -v
+	}
+	for v > cap {
+		v /= 2
+	}
+	return v
+}

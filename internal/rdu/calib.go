@@ -1,0 +1,223 @@
+// Package rdu simulates the SambaNova SN30 Reconfigurable Dataflow
+// Unit: the computation graph is partitioned into sections that execute
+// sequentially on one chip, with all model state streamed from off-chip
+// DDR. Three compile modes change the partitioning (paper Figure 4):
+//
+//   - O0 (operator mode): one operator per section; decoder layers are
+//     merged, so each section is invoked once per layer.
+//   - O1 (module mode): operator fusion groups the operators of the
+//     attention and MLP modules into shared sections, again invoked per
+//     layer; oversized matrices (the LM head) are sharded.
+//   - O3 (full-graph mode): decoder-by-decoder sections without fusion;
+//     section boundaries shift with model size.
+//
+// The simulator derives every Tier-1 metric from the section schedule:
+// time-weighted PCU/PMU allocation (paper Eq. 2), operator-level load
+// imbalance (Eq. 3/4), and the sequential-section step time that sets
+// TFLOPs and throughput.
+package rdu
+
+import "dabench/internal/precision"
+
+// Hardware constants (paper Section II-B2 and the SN30 datasheet).
+const (
+	// PCUs and PMUs per RDU: 4 tiles × 160 each.
+	PCUs = 640
+	PMUs = 640
+	// Peak16 is the per-RDU peak 16-bit rate. The paper's 18.2% peak
+	// efficiency at 50.6 TFLOPs implies ≈278 TFLOPs.
+	Peak16 = 278e12
+	// ratePerPCU is Peak16 / PCUs.
+	ratePerPCU = Peak16 / PCUs
+	// DDRBW is the per-RDU external memory bandwidth (paper: 0.2 TB/s).
+	DDRBW = 0.2e12
+	// DDRBytes is the off-chip DDR capacity per RDU.
+	DDRBytes = 512e9
+	// PMUBytes is the scratchpad capacity of one PMU (≈0.5 MB).
+	PMUBytes = 512 * 1024
+	// ChipsPerNode: one SN30 node pairs two RDUs on a fast local
+	// interconnect; TP beyond 2 crosses machines.
+	ChipsPerNode = 2
+)
+
+// Calibration constants with their paper anchors.
+const (
+	// sectionEff is the fraction of allocated-PCU peak a section
+	// sustains. Anchor: RDU peak efficiency 18.2% at ≈35% PCU
+	// allocation (Figures 7 and 9b/9c).
+	sectionEff = 0.40
+
+	// hostOverheadSec is the fixed per-step orchestration cost (host
+	// round trip, section-graph launch). Anchor: Figure 9b — TFLOPs
+	// rising with layer count as the fixed cost amortizes.
+	hostOverheadSec = 0.02
+
+	// Section-switch overheads per invocation: reconfiguring the
+	// dataflow fabric between sections. Anchor: O0's severely limited
+	// TFLOPs (Figure 9b) against O1/O3 at identical allocation.
+	o0SwitchSec = 300e-6
+	o1SwitchSec = 150e-6
+	o3SwitchSec = 150e-6
+
+	// Operator PCU demand: matmuls get ~one PCU per matmulGrain hidden
+	// columns; pointwise operators a fixed small band. Anchor:
+	// Figure 7's O0/O1 allocation band (10–25%) rising with hidden
+	// size.
+	matmulPCUBase  = 24.0
+	matmulPCUSlope = 1.0 / 26.0 // PCUs per hidden column
+	minMatmulPCUs  = 16.0
+	maxSectionPCUs = 480.0 // hardware scheduler never fills all 640
+	pointwisePCUs  = 16.0
+	attentionPCUs  = 48.0
+
+	// PMU demand follows PCU demand: matmul sections hold operand
+	// tiles (pmuMatmulFactor·PCU + pmuMatmulBase); pointwise sections
+	// buffer streams (pmuPointwiseFactor·PCU). Anchor: Figure 7's PMU
+	// curves tracking PCU curves, and Table II(b)'s 316–339 PMUs per
+	// shard section.
+	pmuMatmulFactor    = 0.50
+	pmuMatmulBase      = 32.0
+	pmuPointwiseFactor = 1.5
+
+	// O1 module fusion multiplies the fused section's PCU demand
+	// relative to the operator average (clamped to maxSectionPCUs so
+	// the chip-level ratio stays under the paper's 60%% ceiling).
+	// Anchor: "O0 and O1 behave almost identically" in allocation
+	// (Figure 7a).
+	o1FusionBoost = 1.15
+	// o1ModuleEffDiscount models the fused pipeline's internal stalls.
+	// Anchor: Figure 9c — O1 TFLOPs topping out near ≈50.
+	o1ModuleEffDiscount = 0.8
+
+	// LM-head sharding (O1): the V×H head matmul is split into shards
+	// grouped into sections. Anchor: Table II(b) — 9 shards/2 sections
+	// at HS 3072 growing to ~30 shards/3 sections at HS 8192, with
+	// per-section PCUs falling from ≈504 to ≈382 and PMUs rising from
+	// ≈316 to ≈339 as the shard count (not HS) grows.
+	shardBudgetBytes      = 24e6
+	shardsPerSection      = 6.0
+	shardSectionPCUBase   = 504.0
+	shardSectionPCUSlope  = 8.0 // PCUs lost per extra shard beyond 9
+	shardSectionPMUBase   = 316.0
+	shardSectionPMUSlope  = 2.0
+	shardSectionPCUFloor  = 320.0
+	shardSectionPMUCeil   = 360.0
+	headShardEffDiscount  = 0.85
+	nonDecoderUtilO3      = 0.35 // embed/loss/opt sections (O3)
+	o3BwdUtilFactor       = 0.88 // backward sections allocate slightly less
+	o0MatmulInvOverlapExp = 0.93 // sub-linear growth of merged-mode matmul time with L
+
+	// TP scaling (Table III / Figure 11b). Within a node (TP2) the RDU
+	// Connect link costs ~6%; crossing machines collapses per-chip
+	// efficiency: allocation drops (PCU −40%, PMU −25%) and ring
+	// traffic serializes on the slow link.
+	tpIntraFactor  = 0.94
+	tpCrossPCUDrop = 0.60
+	tpCrossPMUDrop = 0.75
+	tpCrossKappa   = 0.45
+
+	// Batch amortization (Figure 12b): throughput(B) = 1/(w + o/B)
+	// with a per-step overhead o. Anchor: 580→630 tokens/s over batch
+	// 4→16 for the 7B model.
+	batchOverheadFrac = 0.12 // fraction of the B=4 step that is fixed overhead
+
+	// weightPasses scales the per-decoder DDR weight traffic in O3
+	// (weight read, gradient write, optimizer read/write).
+	weightPasses = 6.0
+
+	// O3 cross-decoder allocation spread: the compiler's automatic
+	// load strategy balances decoders worse as depth grows. Anchor:
+	// Figure 8a — O3's LI falling with layer count while O1 stays
+	// flat; Figure 8b — LI improving with hidden size.
+	o3SpreadPerLayer = 0.012
+	o3SpreadMax      = 0.45
+	// o3HSSpread adds imbalance for narrow models: small decoders leave
+	// the compiler fewer placement choices, so balance improves with
+	// hidden size (Figure 8b).
+	o3HSSpread    = 0.45
+	o3HSSpreadRef = 1600.0
+	o1Spread      = 0.10
+	spreadHSRef   = 1024.0
+)
+
+// precFactor returns the throughput multiplier relative to the RDU's
+// BF16 default. Anchor: Table IV — mixed precision beats the BF16
+// baseline by 34.3% on the 7B model (mixed keeps FP32 master state on
+// chip, halving DDR optimizer traffic); FP32 roughly halves throughput.
+func precFactor(f precision.Format) float64 {
+	switch f {
+	case precision.FP32:
+		return 0.52
+	case precision.Mixed:
+		return 1.343
+	case precision.BF16, precision.FP16, precision.CB16:
+		return 1.0
+	default:
+		return 1.0
+	}
+}
+
+// o3FwdUtil returns the O3 forward-section PCU utilization for a given
+// hidden size, interpolating the paper's Table II(a) anchors. The
+// oscillation reflects repartitioning: utilization climbs until the
+// decoder no longer fits one section, drops at the split point, then
+// recovers.
+func o3FwdUtil(h int) float64 { return interpAnchors(h, o3FwdAnchors) }
+
+// o3BwdUtil is the backward-section analogue from Table II(a).
+func o3BwdUtil(h int) float64 { return interpAnchors(h, o3BwdAnchors) }
+
+// o3FwdRatio returns forward sections per decoder (Table II(a) "Ratio"
+// column: 0.66 at small HS — three decoders pack into two sections —
+// rising to 1 and beyond as decoders split).
+func o3FwdRatio(h int) float64 {
+	switch {
+	case h <= 1024:
+		if h <= 768 {
+			return 2.0 / 3.0
+		}
+		return 0.75
+	case h <= 1600:
+		return 1
+	default:
+		return float64(h) / 1600.0
+	}
+}
+
+// o3BwdRatio returns backward sections per decoder (Table II(a):
+// 1.83 → 3 across the sweep).
+func o3BwdRatio(h int) float64 {
+	r := 1.5 + float64(h)/1024.0
+	if r < 1.8 {
+		r = 1.8
+	}
+	return r
+}
+
+type anchor struct {
+	h int
+	v float64
+}
+
+var o3FwdAnchors = []anchor{
+	{480, 0.55}, {768, 0.62}, {1024, 0.64}, {1280, 0.53}, {1600, 0.63},
+}
+
+var o3BwdAnchors = []anchor{
+	{480, 0.44}, {768, 0.525}, {1024, 0.595}, {1280, 0.605}, {1600, 0.5675},
+}
+
+// interpAnchors linearly interpolates the anchor table, clamping at the
+// ends.
+func interpAnchors(h int, as []anchor) float64 {
+	if h <= as[0].h {
+		return as[0].v
+	}
+	for i := 1; i < len(as); i++ {
+		if h <= as[i].h {
+			t := float64(h-as[i-1].h) / float64(as[i].h-as[i-1].h)
+			return as[i-1].v + t*(as[i].v-as[i-1].v)
+		}
+	}
+	return as[len(as)-1].v
+}

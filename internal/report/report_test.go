@@ -1,0 +1,78 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Sample", "A", "B")
+	t.Add("1", "one")
+	t.Add("22", "twenty,two")
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Sample", "A", "--", "22", "twenty,two"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"twenty,two\"") {
+		t.Errorf("comma field not quoted:\n%s", buf.String())
+	}
+	quoted := New("", "X")
+	quoted.Add(`say "hi"`)
+	buf.Reset()
+	if err := quoted.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"say ""hi"""`) {
+		t.Errorf("quote escaping wrong:\n%s", buf.String())
+	}
+}
+
+func TestAddPadsShortRows(t *testing.T) {
+	tbl := New("", "A", "B", "C")
+	tbl.Add("only")
+	if len(tbl.Rows[0]) != 3 || tbl.Rows[0][1] != "" {
+		t.Errorf("row = %v", tbl.Rows[0])
+	}
+	tbl.Addf("x\ty\tz")
+	if tbl.Rows[1][2] != "z" {
+		t.Errorf("Addf row = %v", tbl.Rows[1])
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.23e+06",
+		155.3:   "155",
+		1.5:     "1.50",
+		0.625:   "0.625",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package roofline implements the roofline performance model the paper
+// uses to classify each accelerator's global-memory behaviour
+// (Figure 10): attainable performance is the minimum of the compute
+// peak and bandwidth × arithmetic intensity.
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"dabench/internal/units"
+)
+
+// Model is one platform's roofline at a single memory tier.
+type Model struct {
+	Name string
+	Peak units.FLOPSRate // compute roof
+	BW   units.Bandwidth // memory tier bandwidth
+}
+
+// Validate rejects non-positive roofs.
+func (m Model) Validate() error {
+	if m.Peak <= 0 {
+		return fmt.Errorf("roofline %q: peak %v must be positive", m.Name, m.Peak)
+	}
+	if m.BW <= 0 {
+		return fmt.Errorf("roofline %q: bandwidth %v must be positive", m.Name, m.BW)
+	}
+	return nil
+}
+
+// Ridge returns the arithmetic intensity (FLOPs/byte) at which the
+// memory and compute roofs meet.
+func (m Model) Ridge() float64 {
+	if m.BW <= 0 {
+		return math.Inf(1)
+	}
+	return float64(m.Peak) / float64(m.BW)
+}
+
+// Attainable returns the roofline bound for the given arithmetic
+// intensity.
+func (m Model) Attainable(ai float64) units.FLOPSRate {
+	if ai <= 0 {
+		return 0
+	}
+	mem := units.FLOPSRate(ai * float64(m.BW))
+	if mem < m.Peak {
+		return mem
+	}
+	return m.Peak
+}
+
+// Regime classifies a workload's position on the roofline.
+type Regime int
+
+// Roofline regimes.
+const (
+	MemoryBound Regime = iota
+	ComputeBound
+)
+
+// String returns the regime name.
+func (r Regime) String() string {
+	if r == ComputeBound {
+		return "compute-bound"
+	}
+	return "memory-bound"
+}
+
+// Classify returns the regime for arithmetic intensity ai.
+func (m Model) Classify(ai float64) Regime {
+	if ai >= m.Ridge() {
+		return ComputeBound
+	}
+	return MemoryBound
+}
+
+// Point is one workload plotted on a roofline.
+type Point struct {
+	Label      string
+	AI         float64         // FLOPs per byte
+	Achieved   units.FLOPSRate // measured performance
+	Bound      units.FLOPSRate // roofline bound at this AI
+	Regime     Regime
+	Efficiency float64 // achieved / bound
+}
+
+// Plot evaluates a set of (label, AI, achieved) samples against the
+// model.
+func (m Model) Plot(labels []string, ai []float64, achieved []units.FLOPSRate) ([]Point, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(labels) != len(ai) || len(ai) != len(achieved) {
+		return nil, fmt.Errorf("roofline: mismatched lengths %d/%d/%d", len(labels), len(ai), len(achieved))
+	}
+	pts := make([]Point, len(ai))
+	for i := range ai {
+		bound := m.Attainable(ai[i])
+		p := Point{
+			Label:    labels[i],
+			AI:       ai[i],
+			Achieved: achieved[i],
+			Bound:    bound,
+			Regime:   m.Classify(ai[i]),
+		}
+		if bound > 0 {
+			p.Efficiency = units.Clamp(float64(achieved[i])/float64(bound), 0, 1)
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}

@@ -1,0 +1,147 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dabench/internal/units"
+)
+
+// The three paper platforms' global-memory rooflines (calibrated peaks).
+func wse() Model { return Model{Name: "WSE-2", Peak: 1.7e15, BW: 20e15} }
+func rdu() Model { return Model{Name: "RDU", Peak: 278e12, BW: 0.2e12} }
+func ipu() Model { return Model{Name: "IPU", Peak: 350e12, BW: 8e12} }
+
+func TestRidge(t *testing.T) {
+	// WSE's 20 PB/s puts the ridge below 0.1 FLOPs/byte: everything is
+	// compute-bound (paper Fig. 10a).
+	if r := wse().Ridge(); r > 0.1 {
+		t.Errorf("WSE ridge = %v, want < 0.1", r)
+	}
+	// RDU's 0.2 TB/s pushes the ridge to 1390 FLOPs/byte: LLM training
+	// at AI 200-1600 is mostly memory-bound (Fig. 10b).
+	if r := rdu().Ridge(); math.Abs(r-1390) > 1 {
+		t.Errorf("RDU ridge = %v, want 1390", r)
+	}
+}
+
+func TestAttainable(t *testing.T) {
+	m := rdu()
+	// Memory-bound region: AI 200 → 40 TFLOPs, matching the paper's
+	// observed 35-50 TFLOPs band.
+	got := m.Attainable(200)
+	if math.Abs(got.TFLOPS()-40) > 1e-9 {
+		t.Errorf("attainable(200) = %v TFLOPs, want 40", got.TFLOPS())
+	}
+	// Past the ridge the compute roof caps performance.
+	if got := m.Attainable(1e6); got != m.Peak {
+		t.Errorf("attainable beyond ridge = %v, want peak", got)
+	}
+	if got := m.Attainable(0); got != 0 {
+		t.Errorf("attainable(0) = %v, want 0", got)
+	}
+}
+
+func TestClassifyPaperRegimes(t *testing.T) {
+	// Paper: WSE workloads AI 8.9-28 are compute-bound; RDU and IPU
+	// workloads are memory-bound.
+	for _, ai := range []float64{8.9, 15, 28} {
+		if wse().Classify(ai) != ComputeBound {
+			t.Errorf("WSE AI=%v should be compute-bound", ai)
+		}
+	}
+	for _, ai := range []float64{200, 800, 1300} {
+		if rdu().Classify(ai) != MemoryBound {
+			t.Errorf("RDU AI=%v should be memory-bound", ai)
+		}
+	}
+	for _, ai := range []float64{20, 30, 42} {
+		if ipu().Classify(ai) != MemoryBound {
+			t.Errorf("IPU AI=%v should be memory-bound", ai)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{Name: "x", Peak: 0, BW: 1}).Validate(); err == nil {
+		t.Error("zero peak accepted")
+	}
+	if err := (Model{Name: "x", Peak: 1, BW: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if err := wse().Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	m := ipu()
+	pts, err := m.Plot(
+		[]string{"low", "mid", "high"},
+		[]float64{20, 30, 42},
+		[]units.FLOPSRate{91e12, 120e12, 143e12},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Regime != MemoryBound {
+			t.Errorf("%s: regime = %v", p.Label, p.Regime)
+		}
+		if p.Efficiency <= 0 || p.Efficiency > 1 {
+			t.Errorf("%s: efficiency = %v", p.Label, p.Efficiency)
+		}
+		if p.Achieved > p.Bound {
+			t.Errorf("%s: achieved %v exceeds bound %v", p.Label, p.Achieved, p.Bound)
+		}
+	}
+	if _, err := m.Plot([]string{"a"}, []float64{1, 2}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if MemoryBound.String() != "memory-bound" || ComputeBound.String() != "compute-bound" {
+		t.Error("regime names wrong")
+	}
+}
+
+// Property: attainable performance is monotone in AI and never exceeds
+// the peak.
+func TestAttainableMonotoneProperty(t *testing.T) {
+	m := rdu()
+	f := func(a, b float64) bool {
+		x, y := math.Abs(a), math.Abs(b)
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		px, py := m.Attainable(x), m.Attainable(y)
+		return px <= py && py <= m.Peak
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the regime switches exactly at the ridge.
+func TestRidgeConsistencyProperty(t *testing.T) {
+	f := func(peakT, bwT uint16) bool {
+		m := Model{
+			Name: "p",
+			Peak: units.FLOPSRate(float64(peakT%500)+1) * 1e12,
+			BW:   units.Bandwidth(float64(bwT%500)+1) * 1e9,
+		}
+		r := m.Ridge()
+		return m.Classify(r*0.99) == MemoryBound && m.Classify(r*1.01) == ComputeBound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

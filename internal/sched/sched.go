@@ -1,0 +1,143 @@
+// Package sched collects the partitioning and placement algorithms the
+// dataflow compilers in this repository rely on: balanced layer
+// assignment for pipeline parallelism (Graphcore), weighted largest-
+// remainder allocation for kernel placement (Cerebras), and greedy
+// capacity packing for section formation (SambaNova).
+//
+// The algorithms are deliberately deterministic — the paper's framework
+// assumes compile-time decisions are stable across runs ("most metrics
+// are determined at compiling time and remain unchanged during
+// execution").
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BalanceLayers spreads n layers over k pipeline stages so that the
+// maximum stage load is minimized (the paper's IPU deployment
+// recommendation: minimize the most heavily loaded IPU). The first
+// (n mod k) stages receive the extra layer.
+func BalanceLayers(n, k int) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sched: negative layer count %d", n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("sched: stage count %d must be positive", k)
+	}
+	out := make([]int, k)
+	base, extra := n/k, n%k
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out, nil
+}
+
+// MaxLoad returns the largest element of an assignment (the pipeline
+// bottleneck under the paper's Figure 11c rule).
+func MaxLoad(assign []int) int {
+	m := 0
+	for _, v := range assign {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ProportionalAlloc splits capacity across weights using the largest-
+// remainder method: allocations are proportional to the weights, sum
+// exactly to capacity, and are deterministic. It models the WSE
+// compiler's work-proportional PE assignment after shrink-to-fit.
+func ProportionalAlloc(weights []float64, capacity int) ([]int, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("sched: negative capacity %d", capacity)
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sched: negative weight %v at %d", w, i)
+		}
+		total += w
+	}
+	out := make([]int, len(weights))
+	if total == 0 || len(weights) == 0 {
+		return out, nil
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := w / total * float64(capacity)
+		out[i] = int(exact)
+		assigned += out[i]
+		rems[i] = rem{i, exact - float64(out[i])}
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for i := 0; i < capacity-assigned; i++ {
+		out[rems[i%len(rems)].idx]++
+	}
+	return out, nil
+}
+
+// PackSections greedily packs item sizes into bins of the given
+// capacity, preserving order (sections must respect the computation
+// graph's topological order, unlike classic bin packing). Oversized
+// items get a bin of their own — the RDU compiler's "further
+// partitioning" is modeled by the caller splitting such items first.
+func PackSections(sizes []float64, capacity float64) ([][]int, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("sched: capacity %v must be positive", capacity)
+	}
+	var bins [][]int
+	var cur []int
+	var used float64
+	for i, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("sched: negative size %v at %d", s, i)
+		}
+		if len(cur) > 0 && used+s > capacity {
+			bins = append(bins, cur)
+			cur, used = nil, 0
+		}
+		cur = append(cur, i)
+		used += s
+	}
+	if len(cur) > 0 {
+		bins = append(bins, cur)
+	}
+	return bins, nil
+}
+
+// SplitOversized divides any size exceeding capacity into equal shards
+// that fit, returning the new sizes and, for each output index, the
+// input item it came from. This is the RDU's matrix-sharding step
+// (Table IIb): the LM head splits into shards before section packing.
+func SplitOversized(sizes []float64, capacity float64) (out []float64, origin []int, err error) {
+	if capacity <= 0 {
+		return nil, nil, fmt.Errorf("sched: capacity %v must be positive", capacity)
+	}
+	for i, s := range sizes {
+		if s < 0 {
+			return nil, nil, fmt.Errorf("sched: negative size %v at %d", s, i)
+		}
+		if s <= capacity {
+			out = append(out, s)
+			origin = append(origin, i)
+			continue
+		}
+		shards := int(s/capacity) + 1
+		for j := 0; j < shards; j++ {
+			out = append(out, s/float64(shards))
+			origin = append(origin, i)
+		}
+	}
+	return out, origin, nil
+}

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBalanceLayers(t *testing.T) {
+	got, err := BalanceLayers(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 4 {
+			t.Fatalf("BalanceLayers(12,3) = %v", got)
+		}
+	}
+	got, _ = BalanceLayers(7, 3)
+	want := []int{3, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BalanceLayers(7,3) = %v, want %v", got, want)
+		}
+	}
+	if _, err := BalanceLayers(-1, 3); err == nil {
+		t.Error("negative layers accepted")
+	}
+	if _, err := BalanceLayers(3, 0); err == nil {
+		t.Error("zero stages accepted")
+	}
+}
+
+// Property: balanced assignment covers all layers and its max load is
+// the theoretical minimum ceil(n/k).
+func TestBalanceLayersOptimalProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		layers := int(n % 100)
+		stages := int(k%8) + 1
+		got, err := BalanceLayers(layers, stages)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, v := range got {
+			sum += v
+		}
+		ceil := (layers + stages - 1) / stages
+		return sum == layers && MaxLoad(got) == ceil || (layers == 0 && MaxLoad(got) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportionalAlloc(t *testing.T) {
+	got, err := ProportionalAlloc([]float64{1, 2, 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 25 || got[1] != 50 || got[2] != 25 {
+		t.Errorf("alloc = %v", got)
+	}
+	if _, err := ProportionalAlloc([]float64{-1}, 10); err == nil {
+		t.Error("negative weight accepted")
+	}
+	zero, err := ProportionalAlloc([]float64{0, 0}, 10)
+	if err != nil || zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("zero weights: %v %v", zero, err)
+	}
+}
+
+// Property: the allocation always sums exactly to capacity and no
+// entry is negative.
+func TestProportionalAllocSumProperty(t *testing.T) {
+	f := func(a, b, c uint16, capV uint16) bool {
+		weights := []float64{float64(a%97) + 0.5, float64(b % 97), float64(c%97) + 0.25}
+		capacity := int(capV % 10000)
+		got, err := ProportionalAlloc(weights, capacity)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, v := range got {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == capacity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackSections(t *testing.T) {
+	bins, err := PackSections([]float64{3, 3, 3, 5, 1}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order-preserving: [3,3] [3] wait — 3+3=6 fits, then 3+5>6 splits.
+	if len(bins) != 3 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if bins[0][0] != 0 || bins[0][1] != 1 {
+		t.Errorf("first bin = %v", bins[0])
+	}
+	// Oversized item still gets a bin.
+	bins, _ = PackSections([]float64{10}, 6)
+	if len(bins) != 1 || len(bins[0]) != 1 {
+		t.Errorf("oversized handling = %v", bins)
+	}
+	if _, err := PackSections([]float64{1}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := PackSections([]float64{-1}, 5); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+// Property: packing preserves every index exactly once, in order.
+func TestPackSectionsCoverageProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		sizes := make([]float64, len(raw))
+		for i, v := range raw {
+			sizes[i] = float64(v % 10)
+		}
+		bins, err := PackSections(sizes, 12)
+		if err != nil {
+			return false
+		}
+		next := 0
+		for _, b := range bins {
+			for _, idx := range b {
+				if idx != next {
+					return false
+				}
+				next++
+			}
+		}
+		return next == len(sizes)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitOversized(t *testing.T) {
+	out, origin, err := SplitOversized([]float64{4, 50, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 splits into 6 shards of 8.33.
+	if len(out) != 8 {
+		t.Fatalf("out = %v", out)
+	}
+	for i := 1; i <= 6; i++ {
+		if origin[i] != 1 {
+			t.Errorf("origin[%d] = %d, want 1", i, origin[i])
+		}
+		if out[i] > 10 {
+			t.Errorf("shard %v exceeds capacity", out[i])
+		}
+	}
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum < 56.99 || sum > 57.01 {
+		t.Errorf("mass not conserved: %v", sum)
+	}
+}
+
+// Property: after SplitOversized, every size fits the capacity and the
+// total mass is conserved.
+func TestSplitOversizedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		sizes := make([]float64, len(raw))
+		var want float64
+		for i, v := range raw {
+			sizes[i] = float64(v % 500)
+			want += sizes[i]
+		}
+		out, origin, err := SplitOversized(sizes, 37)
+		if err != nil || len(out) != len(origin) {
+			return false
+		}
+		var got float64
+		for _, v := range out {
+			if v > 37+1e-9 {
+				return false
+			}
+			got += v
+		}
+		return got > want-1e-6 && got < want+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

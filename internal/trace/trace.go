@@ -1,0 +1,140 @@
+// Package trace records and analyzes benchmark runs as JSON-lines
+// streams — the equivalent of the paper artifact's analysis logs and
+// ana.py post-processing. Every experiment run emits one Record per
+// measured configuration; the Analyzer aggregates them into the
+// summary statistics the reports print.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Record is one measured configuration.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Platform   string  `json:"platform"`
+	Model      string  `json:"model"`
+	Config     string  `json:"config"` // free-form knob description, e.g. "L=12" or "TP4"
+	Metric     string  `json:"metric"` // e.g. "tokens/s", "alloc%", "LI"
+	Value      float64 `json:"value"`
+	Failed     bool    `json:"failed,omitempty"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// Writer streams records as JSON lines.
+type Writer struct {
+	w   io.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, enc: json.NewEncoder(w)}
+}
+
+// Write appends one record.
+func (t *Writer) Write(r Record) error {
+	if r.Experiment == "" || r.Metric == "" {
+		return fmt.Errorf("trace: record needs experiment and metric (got %+v)", r)
+	}
+	if err := t.enc.Encode(r); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	t.n++
+	return nil
+}
+
+// Count reports records written.
+func (t *Writer) Count() int { return t.n }
+
+// Read parses a JSON-lines stream back into records, skipping blank
+// lines and rejecting malformed ones.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}
+
+// Summary aggregates one (experiment, platform, metric) group.
+type Summary struct {
+	Experiment string
+	Platform   string
+	Metric     string
+	Count      int
+	Failures   int
+	Min, Max   float64
+	Mean       float64
+}
+
+// Analyze groups records and computes summary statistics, sorted by
+// (experiment, platform, metric) for stable output.
+func Analyze(recs []Record) []Summary {
+	type key struct{ e, p, m string }
+	agg := map[key]*Summary{}
+	for _, r := range recs {
+		k := key{r.Experiment, r.Platform, r.Metric}
+		s, ok := agg[k]
+		if !ok {
+			s = &Summary{
+				Experiment: r.Experiment, Platform: r.Platform, Metric: r.Metric,
+				Min: math.Inf(1), Max: math.Inf(-1),
+			}
+			agg[k] = s
+		}
+		if r.Failed {
+			s.Failures++
+			continue
+		}
+		s.Count++
+		s.Mean += r.Value
+		if r.Value < s.Min {
+			s.Min = r.Value
+		}
+		if r.Value > s.Max {
+			s.Max = r.Value
+		}
+	}
+	out := make([]Summary, 0, len(agg))
+	for _, s := range agg {
+		if s.Count > 0 {
+			s.Mean /= float64(s.Count)
+		} else {
+			s.Min, s.Max = 0, 0
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Platform != b.Platform {
+			return a.Platform < b.Platform
+		}
+		return a.Metric < b.Metric
+	})
+	return out
+}

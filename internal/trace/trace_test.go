@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{Experiment: "table1", Platform: "WSE-2", Config: "L=12", Metric: "alloc%", Value: 85},
+		{Experiment: "table1", Platform: "WSE-2", Config: "L=78", Metric: "alloc%", Failed: true, Note: "OOM"},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 2 {
+		t.Errorf("count = %d", w.Count())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestWriteRejectsIncomplete(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Write(Record{Platform: "x"}); err == nil {
+		t.Error("record without experiment accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"experiment\":\"a\"}\nnot json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	got, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("blank lines: %v %v", got, err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	recs := []Record{
+		{Experiment: "e", Platform: "p", Metric: "m", Value: 10},
+		{Experiment: "e", Platform: "p", Metric: "m", Value: 20},
+		{Experiment: "e", Platform: "p", Metric: "m", Failed: true},
+		{Experiment: "e", Platform: "q", Metric: "m", Value: 5},
+	}
+	sums := Analyze(recs)
+	if len(sums) != 2 {
+		t.Fatalf("groups = %d", len(sums))
+	}
+	s := sums[0]
+	if s.Platform != "p" || s.Count != 2 || s.Failures != 1 || s.Mean != 15 || s.Min != 10 || s.Max != 20 {
+		t.Errorf("summary = %+v", s)
+	}
+	if sums[1].Platform != "q" {
+		t.Error("output not sorted")
+	}
+}
+
+// Property: round-tripping any record set preserves length and values.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i, v := range vals {
+			if v != v { // skip NaN (not JSON-encodable)
+				return true
+			}
+			if err := w.Write(Record{Experiment: "e", Metric: "m", Config: string(rune('a' + i%26)), Value: v}); err != nil {
+				return false
+			}
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range got {
+			if got[i].Value != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

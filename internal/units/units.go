@@ -1,0 +1,159 @@
+// Package units provides the scalar quantities used throughout the
+// simulators and the benchmarking framework: floating-point operation
+// counts, byte counts, bandwidths and rates, together with SI/IEC
+// formatting helpers.
+//
+// All quantities are plain float64 wrappers so that arithmetic stays
+// ordinary Go arithmetic; the types exist to keep APIs self-describing
+// and to attach formatting behaviour.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// FLOPs is a count of floating-point operations.
+type FLOPs float64
+
+// Bytes is a count of bytes.
+type Bytes float64
+
+// FLOPSRate is a compute rate in FLOPs per second.
+type FLOPSRate float64
+
+// Bandwidth is a memory or link bandwidth in bytes per second.
+type Bandwidth float64
+
+// Seconds is a duration in seconds. The simulators use float seconds
+// rather than time.Duration because modeled times span nanoseconds to
+// hours and are the result of continuous math.
+type Seconds float64
+
+// Common scale factors.
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+	Tera = 1e12
+	Peta = 1e15
+
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+)
+
+// TFLOPs reports f in teraFLOPs.
+func (f FLOPs) TFLOPs() float64 { return float64(f) / Tera }
+
+// GFLOPs reports f in gigaFLOPs.
+func (f FLOPs) GFLOPs() float64 { return float64(f) / Giga }
+
+// String formats the count with an SI suffix, e.g. "1.50 TFLOPs".
+func (f FLOPs) String() string { return siFormat(float64(f), "FLOPs") }
+
+// MB reports b in decimal megabytes.
+func (b Bytes) MB() float64 { return float64(b) / Mega }
+
+// GB reports b in decimal gigabytes.
+func (b Bytes) GB() float64 { return float64(b) / Giga }
+
+// MiB reports b in binary mebibytes.
+func (b Bytes) MiB() float64 { return float64(b) / MiB }
+
+// GiB reports b in binary gibibytes.
+func (b Bytes) GiB() float64 { return float64(b) / GiB }
+
+// String formats the count with an SI suffix, e.g. "40.00 GB".
+func (b Bytes) String() string { return siFormat(float64(b), "B") }
+
+// TFLOPS reports r in teraFLOPs per second.
+func (r FLOPSRate) TFLOPS() float64 { return float64(r) / Tera }
+
+// String formats the rate with an SI suffix, e.g. "312.00 TFLOP/s".
+func (r FLOPSRate) String() string { return siFormat(float64(r), "FLOP/s") }
+
+// TBps reports w in terabytes per second.
+func (w Bandwidth) TBps() float64 { return float64(w) / Tera }
+
+// GBps reports w in gigabytes per second.
+func (w Bandwidth) GBps() float64 { return float64(w) / Giga }
+
+// String formats the bandwidth with an SI suffix, e.g. "20.00 PB/s".
+func (w Bandwidth) String() string { return siFormat(float64(w), "B/s") }
+
+// String formats the duration, e.g. "1.20 ms".
+func (s Seconds) String() string {
+	v := float64(s)
+	switch {
+	case v == 0:
+		return "0 s"
+	case math.Abs(v) < 1e-6:
+		return fmt.Sprintf("%.2f ns", v*1e9)
+	case math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.2f µs", v*1e6)
+	case math.Abs(v) < 1:
+		return fmt.Sprintf("%.2f ms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2f s", v)
+	}
+}
+
+// siFormat renders v with the largest SI prefix that keeps the mantissa
+// at or above 1, for non-negative magnitudes up to peta.
+func siFormat(v float64, unit string) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= Peta:
+		return fmt.Sprintf("%.2f P%s", v/Peta, unit)
+	case abs >= Tera:
+		return fmt.Sprintf("%.2f T%s", v/Tera, unit)
+	case abs >= Giga:
+		return fmt.Sprintf("%.2f G%s", v/Giga, unit)
+	case abs >= Mega:
+		return fmt.Sprintf("%.2f M%s", v/Mega, unit)
+	case abs >= Kilo:
+		return fmt.Sprintf("%.2f k%s", v/Kilo, unit)
+	default:
+		return fmt.Sprintf("%.2f %s", v, unit)
+	}
+}
+
+// TimeToCompute returns the time to execute f FLOPs at rate r. A zero or
+// negative rate yields +Inf so that an unpowered resource never wins a
+// bottleneck comparison silently.
+func TimeToCompute(f FLOPs, r FLOPSRate) Seconds {
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(f) / float64(r))
+}
+
+// TimeToMove returns the time to move b bytes over bandwidth w, with the
+// same +Inf convention as TimeToCompute.
+func TimeToMove(b Bytes, w Bandwidth) Seconds {
+	if w <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(b) / float64(w))
+}
+
+// ArithmeticIntensity returns f/b in FLOPs per byte, or 0 when b is 0.
+func ArithmeticIntensity(f FLOPs, b Bytes) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(f) / float64(b)
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

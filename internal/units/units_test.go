@@ -1,0 +1,159 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFLOPsConversions(t *testing.T) {
+	f := FLOPs(1.5e12)
+	if got := f.TFLOPs(); got != 1.5 {
+		t.Errorf("TFLOPs = %v, want 1.5", got)
+	}
+	if got := f.GFLOPs(); got != 1500 {
+		t.Errorf("GFLOPs = %v, want 1500", got)
+	}
+}
+
+func TestBytesConversions(t *testing.T) {
+	b := Bytes(40e9)
+	if got := b.GB(); got != 40 {
+		t.Errorf("GB = %v, want 40", got)
+	}
+	if got := Bytes(MiB).MiB(); got != 1 {
+		t.Errorf("MiB = %v, want 1", got)
+	}
+	if got := Bytes(2 * GiB).GiB(); got != 2 {
+		t.Errorf("GiB = %v, want 2", got)
+	}
+}
+
+func TestSIFormat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{20e15, "B/s", "20.00 PB/s"},
+		{1.7e15, "FLOP/s", "1.70 PFLOP/s"},
+		{312e12, "FLOP/s", "312.00 TFLOP/s"},
+		{5e9, "B", "5.00 GB"},
+		{2.5e6, "B", "2.50 MB"},
+		{1234, "B", "1.23 kB"},
+		{42, "FLOPs", "42.00 FLOPs"},
+	}
+	for _, c := range cases {
+		if got := siFormat(c.v, c.unit); got != c.want {
+			t.Errorf("siFormat(%v, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		v    Seconds
+		want string
+	}{
+		{0, "0 s"},
+		{1.5e-9, "1.50 ns"},
+		{2e-6, "2.00 µs"},
+		{3e-3, "3.00 ms"},
+		{1.25, "1.25 s"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(c.v), got, c.want)
+		}
+	}
+}
+
+func TestTimeToCompute(t *testing.T) {
+	if got := TimeToCompute(1e12, 1e12); got != 1 {
+		t.Errorf("TimeToCompute = %v, want 1", got)
+	}
+	if got := TimeToCompute(1e12, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("TimeToCompute with zero rate = %v, want +Inf", got)
+	}
+	if got := TimeToCompute(1e12, -5); !math.IsInf(float64(got), 1) {
+		t.Errorf("TimeToCompute with negative rate = %v, want +Inf", got)
+	}
+}
+
+func TestTimeToMove(t *testing.T) {
+	if got := TimeToMove(2e9, 1e9); got != 2 {
+		t.Errorf("TimeToMove = %v, want 2", got)
+	}
+	if got := TimeToMove(1, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("TimeToMove with zero bandwidth = %v, want +Inf", got)
+	}
+}
+
+func TestArithmeticIntensity(t *testing.T) {
+	if got := ArithmeticIntensity(100, 10); got != 10 {
+		t.Errorf("ArithmeticIntensity = %v, want 10", got)
+	}
+	if got := ArithmeticIntensity(100, 0); got != 0 {
+		t.Errorf("ArithmeticIntensity with zero bytes = %v, want 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 10); got != 5 {
+		t.Errorf("Clamp(5,0,10) = %v", got)
+	}
+	if got := Clamp(-1, 0, 10); got != 0 {
+		t.Errorf("Clamp(-1,0,10) = %v", got)
+	}
+	if got := Clamp(11, 0, 10); got != 10 {
+		t.Errorf("Clamp(11,0,10) = %v", got)
+	}
+}
+
+// Property: Clamp always lands inside [lo, hi] for any ordered pair.
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TimeToCompute scales linearly in the FLOP count.
+func TestTimeToComputeLinearity(t *testing.T) {
+	f := func(work float64) bool {
+		w := math.Abs(work)
+		if math.IsNaN(w) || math.IsInf(w, 0) || w > 1e30 {
+			return true
+		}
+		t1 := TimeToCompute(FLOPs(w), 1e12)
+		t2 := TimeToCompute(FLOPs(2*w), 1e12)
+		return math.Abs(float64(t2)-2*float64(t1)) <= 1e-9*math.Max(1, float64(t2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SI formatting always embeds the unit string.
+func TestSIFormatContainsUnit(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		return strings.HasSuffix(siFormat(v, "B"), "B")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

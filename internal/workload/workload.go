@@ -1,0 +1,95 @@
+// Package workload generates the parameter sweeps the paper's
+// experiments iterate over: layer-count sweeps at fixed hidden size,
+// hidden-size sweeps of single decoder blocks, batch-size ladders, and
+// the multi-chip parallelism configurations of Table III — the
+// decoder-block methodology of Section IV-D.
+package workload
+
+import (
+	"fmt"
+
+	"dabench/internal/model"
+	"dabench/internal/platform"
+	"dabench/internal/precision"
+)
+
+// Point is one sweep configuration with its display label.
+type Point struct {
+	Label string
+	Spec  platform.TrainSpec
+}
+
+// LayerSweep varies depth at fixed width (Table I, Figures 6/8a/9).
+func LayerSweep(base model.Config, layers []int, batch, seq int, f precision.Format) []Point {
+	out := make([]Point, 0, len(layers))
+	for _, l := range layers {
+		out = append(out, Point{
+			Label: fmt.Sprintf("L=%d", l),
+			Spec: platform.TrainSpec{
+				Model: base.WithLayers(l), Batch: batch, Seq: seq, Precision: f,
+			},
+		})
+	}
+	return out
+}
+
+// HiddenSweep varies decoder-block width (Figures 7b/8b/9c, Table II).
+func HiddenSweep(fam model.Family, hidden []int, layers, batch, seq int, f precision.Format) []Point {
+	out := make([]Point, 0, len(hidden))
+	for _, h := range hidden {
+		out = append(out, Point{
+			Label: fmt.Sprintf("H=%d", h),
+			Spec: platform.TrainSpec{
+				Model: model.DecoderBlock(fam, h).WithLayers(layers),
+				Batch: batch, Seq: seq, Precision: f,
+			},
+		})
+	}
+	return out
+}
+
+// BatchSweep varies batch size (Figure 12).
+func BatchSweep(m model.Config, batches []int, seq int, f precision.Format) []Point {
+	out := make([]Point, 0, len(batches))
+	for _, b := range batches {
+		out = append(out, Point{
+			Label: fmt.Sprintf("B=%d", b),
+			Spec:  platform.TrainSpec{Model: m, Batch: b, Seq: seq, Precision: f},
+		})
+	}
+	return out
+}
+
+// PrecisionSweep varies numeric format (Table IV).
+func PrecisionSweep(m model.Config, formats []precision.Format, batch, seq int) []Point {
+	out := make([]Point, 0, len(formats))
+	for _, f := range formats {
+		out = append(out, Point{
+			Label: f.String(),
+			Spec:  platform.TrainSpec{Model: m, Batch: batch, Seq: seq, Precision: f},
+		})
+	}
+	return out
+}
+
+// WithMode returns the points with the RDU compile mode set.
+func WithMode(pts []Point, mode platform.CompileMode) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		p.Spec.Par.Mode = mode
+		p.Label = fmt.Sprintf("%s/%s", mode, p.Label)
+		out[i] = p
+	}
+	return out
+}
+
+// PaperLayerPoints is Table I's layer ladder.
+func PaperLayerPoints() []int {
+	return []int{1, 6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72, 78}
+}
+
+// PaperHiddenPointsSmall is the O0/O3 hidden-size ladder.
+func PaperHiddenPointsSmall() []int { return []int{480, 768, 1024, 1280, 1600} }
+
+// PaperHiddenPointsLarge is the O1 (LLaMA-2 block) hidden-size ladder.
+func PaperHiddenPointsLarge() []int { return []int{3072, 4096, 5120, 6656, 8192} }

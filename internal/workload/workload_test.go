@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"dabench/internal/model"
+	"dabench/internal/platform"
+	"dabench/internal/precision"
+)
+
+func TestLayerSweep(t *testing.T) {
+	pts := LayerSweep(model.GPT2Small(), []int{1, 12, 36}, 4, 1024, precision.FP16)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, want := range []int{1, 12, 36} {
+		if pts[i].Spec.Model.NumLayers != want {
+			t.Errorf("point %d layers = %d", i, pts[i].Spec.Model.NumLayers)
+		}
+		if err := pts[i].Spec.Validate(); err != nil {
+			t.Errorf("point %d invalid: %v", i, err)
+		}
+	}
+	if pts[1].Label != "L=12" {
+		t.Errorf("label = %q", pts[1].Label)
+	}
+}
+
+func TestHiddenSweep(t *testing.T) {
+	pts := HiddenSweep(model.LLaMA2, PaperHiddenPointsLarge(), 8, 1, 1024, precision.BF16)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if err := p.Spec.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Label, err)
+		}
+		if p.Spec.Model.Family != model.LLaMA2 {
+			t.Errorf("%s wrong family", p.Label)
+		}
+	}
+}
+
+func TestBatchAndPrecisionSweeps(t *testing.T) {
+	b := BatchSweep(model.GPT2Small(), []int{4, 8}, 1024, precision.FP16)
+	if len(b) != 2 || b[0].Spec.Batch != 4 || b[1].Spec.Batch != 8 {
+		t.Errorf("batch sweep wrong: %+v", b)
+	}
+	p := PrecisionSweep(model.GPT2Small(), []precision.Format{precision.FP16, precision.CB16}, 4, 1024)
+	if len(p) != 2 || p[1].Label != "CB16" {
+		t.Errorf("precision sweep wrong: %+v", p)
+	}
+}
+
+func TestWithMode(t *testing.T) {
+	pts := WithMode(LayerSweep(model.GPT2Small(), []int{4}, 4, 1024, precision.BF16), platform.ModeO3)
+	if pts[0].Spec.Par.Mode != platform.ModeO3 {
+		t.Error("mode not applied")
+	}
+	if pts[0].Label != "O3/L=4" {
+		t.Errorf("label = %q", pts[0].Label)
+	}
+}
+
+func TestPaperPoints(t *testing.T) {
+	if got := PaperLayerPoints(); got[0] != 1 || got[len(got)-1] != 78 {
+		t.Errorf("layer points = %v", got)
+	}
+	if got := PaperHiddenPointsSmall(); len(got) != 5 || got[0] != 480 {
+		t.Errorf("small HS points = %v", got)
+	}
+}

@@ -1,0 +1,167 @@
+// Package wse simulates the Cerebras CS-2 / WSE-2 wafer-scale engine:
+// whole-graph placement at layer granularity, elastic PE allocation,
+// a unified 40 GB on-chip memory serving both the shared and global
+// roles, intra-chip data parallelism, and the weight-streaming mode for
+// models that exceed on-chip capacity.
+//
+// The simulator is a calibrated performance model: its mechanisms
+// (work-proportional kernel sizing with diminishing-returns caps,
+// placement fragmentation, configuration-memory growth) reproduce the
+// paper's measured behaviour; the constants below pin each mechanism to
+// a paper anchor.
+package wse
+
+import "dabench/internal/precision"
+
+// Hardware constants from the CS-2 data sheet (paper Section II-B1).
+const (
+	// TotalPEs is the WSE-2 processing-element count.
+	TotalPEs = 850_000
+	// MemBytes is the on-chip SRAM capacity (40 GB across all PEs).
+	MemBytes = 40e9
+	// OnChipBW is the aggregate memory bandwidth (20 PB/s).
+	OnChipBW = 20e15
+	// FabricBW is the Swarm fabric bandwidth (220 PB/s).
+	FabricBW = 220e15
+	// Peak16 is the peak 16-bit compute rate used for efficiency
+	// accounting; 850k PEs × 2 GFLOP/s. The paper's ≈20% efficiency at
+	// 327–338 TFLOPs implies a peak near 1.7 PFLOPs.
+	Peak16 = 1.7e15
+	// ratePerPE is Peak16 / TotalPEs.
+	ratePerPE = Peak16 / TotalPEs
+)
+
+// Calibration constants. Each is annotated with the paper anchor it
+// reproduces.
+const (
+	// refKernelPEs is the optimal PE allocation of the reference
+	// attention kernel (GPT-2 HS 768, S 1024). Anchor: Figure 6, where
+	// per-attention-kernel usage starts near 2.5–3.0×10⁴ PEs for
+	// shallow models.
+	refKernelPEs = 22_000
+
+	// ioDemandPEsPerByte sizes kernels whose placement is driven by
+	// vocabulary-table access rather than FLOPs (embedding gather, LM
+	// head scatter): demand = ioDemandPEsPerByte × table bytes touched
+	// per token. Anchor: Table I's 33% allocation at a single layer,
+	// which is dominated by the embedding and head kernels.
+	ioDemandPEsPerByte = 29.0
+
+	// kernelScaleExp is the exponent of the diminishing-returns
+	// allocation curve U_opt ∝ work^kernelScaleExp. Sub-linear scaling
+	// models the inter-PE communication overhead that caps useful
+	// kernel size. Anchor: Table I's 33% allocation at 1 layer together
+	// with Figure 6's stable per-kernel usage below 12 layers.
+	kernelScaleExp = 2.0 / 3.0
+
+	// maxKernelPEs caps any single kernel (router fan-out limit).
+	maxKernelPEs = 160_000
+	// minKernelPEs floors any placed kernel.
+	minKernelPEs = 200
+
+	// txFraction is the share of PEs dedicated to data transmission on
+	// top of compute PEs. Anchor: Figure 6's transmission series
+	// tracking the computation series at roughly 10⁴-PE scale.
+	txFraction = 0.08
+
+	// usableMax is the peak fraction of the wafer the compiler ever
+	// allocates — I/O rows and spare columns are reserved. Anchor:
+	// Table I saturating at 92–93%.
+	usableMax = 0.93
+	// fragPerLayer models placement fragmentation: with few, large
+	// kernels the rectangular placement wastes more of the wafer.
+	// usable(L) = usableMax − fragPerLayer/L. Anchor: Table I's 85% at
+	// 12 layers rising to 93% at 72.
+	fragPerLayer = 0.96
+	// usableMin bounds the fragmentation correction for very shallow
+	// graphs.
+	usableMin = 0.35
+
+	// kernelEff is the asymptotic fraction of a compute PE's peak a
+	// placed kernel sustains (fabric stalls, SLAC pipeline bubbles);
+	// shallow graphs see an additional inter-PE communication ramp
+	// eff = kernelEff · L/(L+kernelEffRampLayers). Anchor: peak chip
+	// efficiency ≈20% (327–338 TFLOPs) at 18–30 layers, rising
+	// steadily below 18 layers (Figure 9a).
+	kernelEff           = 0.36
+	kernelEffRampLayers = 4.0
+
+	// Config-memory polynomial, in GB, for the HS-768 reference
+	// family, scaled by (H/768): cfg = c0 + c1·L + c2·L².
+	// Anchor: Figure 9a's configuration share crossing training memory
+	// past 36 layers, and Table I's compile failure at 78 layers.
+	cfgBaseGB  = 9.84
+	cfgLinGB   = 0.157
+	cfgQuadGB  = 0.00194
+	cfgRefHS   = 768.0
+	cfgScaleLo = 0.1 // floor on the (H/768) scale factor
+
+	// trainStateBytesPerParam covers weights, gradients and optimizer
+	// moments resident on chip (16-bit weights/grads + FP32 moments +
+	// scratch ≈ 14 B/param).
+	trainStateBytesPerParam = 14.0
+
+	// headDemandBoost multiplies the LM-head kernel's work-based PE
+	// demand: scattering logits across a 50k-wide vocabulary needs a
+	// larger fan-out region than its FLOP count alone implies. Anchor:
+	// Table I's 33% allocation for a single decoder layer.
+	headDemandBoost = 1.6
+
+	// batchHalfSat is the batch size at which throughput reaches half
+	// its asymptote. Anchor: Figure 12a — strong gains below batch 200,
+	// flattening beyond.
+	batchHalfSat = 60.0
+	// memBatchHalfSat shapes the slowdown when configuration memory
+	// crowds out activation memory (effective batch shrinks). Anchor:
+	// Figure 9a's steep TFLOPs decline past 36 layers.
+	memBatchHalfSat = 0.75
+
+	// minActTokens is the minimum number of tokens whose activations
+	// must fit on chip for a placement to be viable; the wafer streams
+	// finer than sample granularity. Anchor: Table I's compile failure
+	// at 78 layers (not earlier).
+	minActTokens = 64.0
+
+	// streamingFactor is the weight-streaming throughput multiplier.
+	// Anchor: Table III, GPT-2 dropping from 0.66M to 0.53M tokens/s
+	// (≈20% reduction).
+	streamingFactor = 0.80
+
+	// dpCommSlope grows the replica-to-replica communication penalty
+	// once more than two replicas prevent adjacent placement. Anchor:
+	// Section VI-A3a — two replicas can be placed with zero-distance
+	// paths; beyond that the gap between computation and transmission
+	// throughput widens (Figure 11a).
+	dpCommSlope = 0.05
+
+	// Global-tier traffic model (for the Figure 10 roofline):
+	// bytes/token = aiEmbedFrac·(embedding+head weight bytes)
+	//             + aiLayerFrac·(per-layer weight bytes)·L.
+	// Anchor: the paper's reported AI range of 8.9–28.0 FLOPs/byte
+	// across the 1–42 layer sweep.
+	aiEmbedFrac = 0.186
+	aiLayerFrac = 0.072
+
+	// allocJitter is the deterministic placement-quantization noise
+	// applied per kernel, which keeps kernel-level LI in the paper's
+	// 0.96–1.0 band rather than exactly 1.0.
+	allocJitter = 0.02
+)
+
+// precFactor returns the throughput multiplier of a numeric format
+// relative to the platform's FP16 default. Anchor: Table IV — CB16
+// outperforms FP16 by 10.7% on WSE; FP32 halves the datapath.
+func precFactor(f precision.Format) float64 {
+	switch f {
+	case precision.FP32:
+		return 0.5
+	case precision.CB16:
+		return 1.107
+	case precision.Mixed:
+		return 1.05
+	case precision.BF16, precision.FP16:
+		return 1.0
+	default:
+		return 1.0
+	}
+}

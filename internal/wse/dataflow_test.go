@@ -1,0 +1,117 @@
+package wse
+
+import (
+	"math"
+	"testing"
+
+	"dabench/internal/dataflow"
+	"dabench/internal/units"
+)
+
+// TestRunMatchesDataflowEngine cross-validates the WSE simulator's
+// closed-form bottleneck throughput against the event-driven pipeline
+// engine: building the compiled kernel chain as a dataflow.Pipeline and
+// streaming samples through it must yield the same steady-state rate
+// the simulator reports (before the batch/memory utilization factors).
+func TestRunMatchesDataflowEngine(t *testing.T) {
+	sim := New()
+	for _, l := range []int{6, 12, 24, 48} {
+		cr, err := sim.Compile(spec(l))
+		if err != nil {
+			t.Fatalf("L=%d: %v", l, err)
+		}
+
+		// Build the kernel pipeline: decoder kernels in graph order.
+		p := dataflow.NewPipeline()
+		prev := -1
+		var want float64 = math.Inf(1)
+		for _, task := range cr.Tasks {
+			if task.Kind != "kernel" || task.Name[0] != 'L' {
+				continue
+			}
+			id := p.AddStage(dataflow.Stage{
+				Name:    task.Name,
+				Service: units.Seconds(1 / task.Throughput),
+			})
+			if prev >= 0 {
+				if err := p.Connect(prev, id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prev = id
+			if task.Throughput < want {
+				want = task.Throughput
+			}
+		}
+
+		// Long streams amortize pipeline fill/drain (makespan = fill +
+		// (n-1)/rate), so scale the stream with the chain length.
+		res, err := p.Run(25 * p.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.SteadyThroughput-want)/want > 1e-9 {
+			t.Errorf("L=%d: engine steady rate %v != bottleneck %v", l, res.SteadyThroughput, want)
+		}
+		// The simulator's step rate equals the bottleneck rate times
+		// its utilization factors, so it can never exceed the engine's
+		// steady state.
+		rr, err := sim.Run(cr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepRate := 1 / float64(rr.StepTime)
+		if stepRate > res.SteadyThroughput*(1+1e-9) {
+			t.Errorf("L=%d: simulator step rate %v exceeds engine bound %v", l, stepRate, res.SteadyThroughput)
+		}
+		// And the engine's measured throughput converges to steady
+		// state for a long stream.
+		if res.Throughput < 0.95*res.SteadyThroughput {
+			t.Errorf("L=%d: engine throughput %v did not converge to %v", l, res.Throughput, res.SteadyThroughput)
+		}
+	}
+}
+
+// TestBottleneckIdentification confirms the engine and the simulator
+// agree on which kernel gates the pipeline.
+func TestBottleneckIdentification(t *testing.T) {
+	sim := New()
+	cr, err := sim.Compile(spec(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dataflow.NewPipeline()
+	names := []string{}
+	prev := -1
+	for _, task := range cr.Tasks {
+		if task.Kind != "kernel" || task.Name[0] != 'L' {
+			continue
+		}
+		id := p.AddStage(dataflow.Stage{Name: task.Name, Service: units.Seconds(1 / task.Throughput)})
+		names = append(names, task.Name)
+		if prev >= 0 {
+			if err := p.Connect(prev, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	res, err := p.Run(50 * p.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowest, min := "", math.Inf(1)
+	for _, task := range cr.Tasks {
+		if task.Kind == "kernel" && task.Name[0] == 'L' && task.Throughput < min {
+			min = task.Throughput
+			slowest = task.Name
+		}
+	}
+	if names[res.Bottleneck] != slowest {
+		t.Errorf("engine bottleneck %q != simulator slowest kernel %q", names[res.Bottleneck], slowest)
+	}
+	// The bottleneck stage must be near fully utilized.
+	if res.Stages[res.Bottleneck].Utilization < 0.95 {
+		t.Errorf("bottleneck utilization = %v", res.Stages[res.Bottleneck].Utilization)
+	}
+}
