@@ -11,6 +11,7 @@
 package dabench_test
 
 import (
+	"runtime"
 	"testing"
 
 	dabench "dabench"
@@ -27,6 +28,41 @@ func benchExperiment(b *testing.B, id string) {
 			b.Fatalf("%s produced no tables", id)
 		}
 	}
+}
+
+// BenchmarkAllExperiments regenerates the paper's full evaluation —
+// all 11 tables/figures — per iteration, from a cold compile cache, on
+// a 1-worker pool (serial) and a GOMAXPROCS-wide pool (parallel). The
+// serial/parallel ratio is the sweep engine's end-to-end speedup; the
+// BENCH_0.json baseline pins the starting point of the perf
+// trajectory. Outputs are byte-identical across the two modes (see the
+// determinism tests), so this measures engine overhead and scaling,
+// nothing else.
+func BenchmarkAllExperiments(b *testing.B) {
+	runAll := func(b *testing.B, workers int) {
+		b.Helper()
+		dabench.SetSweepWorkers(workers)
+		defer dabench.SetSweepWorkers(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dabench.ResetExperimentCaches()
+			for _, id := range dabench.ExperimentIDs() {
+				res, err := dabench.RunExperiment(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Tables) == 0 {
+					b.Fatalf("%s produced no tables", id)
+				}
+			}
+		}
+		b.StopTimer()
+		s := dabench.ExperimentCacheStats()
+		b.ReportMetric(float64(s.Hits), "cache-hits/op")
+		b.ReportMetric(100*s.HitRate(), "cache-hit-%")
+	}
+	b.Run("serial", func(b *testing.B) { runAll(b, 1) })
+	b.Run("parallel", func(b *testing.B) { runAll(b, runtime.GOMAXPROCS(0)) })
 }
 
 func BenchmarkTableI(b *testing.B)   { benchExperiment(b, "table1") }

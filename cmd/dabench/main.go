@@ -4,17 +4,21 @@
 //
 // Usage:
 //
-//	dabench experiments [id ...]     reproduce paper tables/figures (default: all)
+//	dabench experiments [-parallel N] [id ...]   reproduce paper tables/figures (default: all)
 //	dabench profile -platform wse -model gpt2-small [-layers N] [-batch B]
-//	dabench list                     list platforms, models and experiment IDs
+//	dabench list                                 list platforms, models and experiment IDs
 //
-// Add -csv to print CSV instead of aligned text.
+// Add -csv to print CSV instead of aligned text. Experiment sweeps fan
+// out over -parallel workers (default: all cores) through a shared
+// compile cache; per-experiment wall-clock and cache hit/miss stats go
+// to stderr so they never pollute the table streams.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"dabench/internal/core"
@@ -23,6 +27,7 @@ import (
 	"dabench/internal/platform"
 	"dabench/internal/precision"
 	"dabench/internal/report"
+	"dabench/internal/sweep"
 	"dabench/internal/trace"
 
 	dabench "dabench"
@@ -58,9 +63,16 @@ func runExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	csv := fs.Bool("csv", false, "emit CSV")
 	traceOut := fs.String("trace", "", "append raw measurement records (JSON lines) to this file")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size (1 = serial)")
+	quiet := fs.Bool("q", false, "suppress per-experiment timing/cache stats on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+	sweep.SetDefaultWorkers(*parallel)
+	defer sweep.SetDefaultWorkers(0)
 	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()
@@ -84,6 +96,12 @@ func runExperiments(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		if !*quiet {
+			s := res.Cache
+			fmt.Fprintf(os.Stderr, "# %-8s %8.2fms wall (%d workers) · compile cache %d hits / %d misses (%.0f%% hit rate)\n",
+				id, float64(res.Elapsed.Microseconds())/1000, *parallel,
+				s.Hits, s.Misses, 100*s.HitRate())
+		}
 		for _, t := range res.Tables {
 			var werr error
 			if *csv {
@@ -102,6 +120,11 @@ func runExperiments(args []string) error {
 				}
 			}
 		}
+	}
+	if !*quiet {
+		total := experiments.CacheStats()
+		fmt.Fprintf(os.Stderr, "# total: compile cache %d hits / %d misses (%.0f%% hit rate) across %d experiments\n",
+			total.Hits, total.Misses, 100*total.HitRate(), len(ids))
 	}
 	return nil
 }

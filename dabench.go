@@ -36,6 +36,7 @@ import (
 	"dabench/internal/platform"
 	"dabench/internal/precision"
 	"dabench/internal/rdu"
+	"dabench/internal/sweep"
 	"dabench/internal/wse"
 )
 
@@ -63,6 +64,10 @@ type (
 	DeploymentReport = core.DeploymentReport
 	// ExperimentResult is one reproduced table/figure.
 	ExperimentResult = experiments.Result
+	// CachedPlatform is a Platform with a memoized Compile (see Cached).
+	CachedPlatform = platform.CachedPlatform
+	// CacheStats is a compile-cache hit/miss snapshot.
+	CacheStats = platform.CacheStats
 )
 
 // Precision formats (paper Table IV).
@@ -142,3 +147,27 @@ func RunExperiment(id string) (*ExperimentResult, error) {
 // IsCompileFailure reports whether err is a placement failure (the
 // paper's "Fail" table entries) rather than invalid input.
 func IsCompileFailure(err error) bool { return platform.IsCompileFailure(err) }
+
+// Cached wraps a platform with the concurrency-safe compile memoizer:
+// identical TrainSpecs (by TrainSpec.Key) compile once, concurrent
+// duplicate compiles are deduplicated in flight, and hit/miss counters
+// are exposed via CacheStats. The simulators are deterministic and
+// stateless, so cached reports are indistinguishable from fresh ones.
+func Cached(p Platform) CachedPlatform { return platform.Cached(p) }
+
+// SetSweepWorkers sets the process-wide sweep pool size used by the
+// Tier-2 analyses and experiment runners (the CLI's -parallel flag).
+// n = 1 forces the serial path; n <= 0 restores the automatic default
+// of runtime.GOMAXPROCS(0).
+func SetSweepWorkers(n int) { sweep.SetDefaultWorkers(n) }
+
+// SweepWorkers returns the effective sweep pool size.
+func SweepWorkers() int { return sweep.DefaultWorkers() }
+
+// ResetExperimentCaches drops the compile caches shared by the
+// experiment runners — benchmarks use it to measure cold-cache runs.
+func ResetExperimentCaches() { experiments.ResetCaches() }
+
+// ExperimentCacheStats aggregates the experiment runners' shared
+// compile-cache counters.
+func ExperimentCacheStats() CacheStats { return experiments.CacheStats() }

@@ -1,0 +1,3 @@
+module dabench
+
+go 1.24

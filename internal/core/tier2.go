@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dabench/internal/platform"
 	"dabench/internal/precision"
+	"dabench/internal/sweep"
 )
 
 // ScalePoint is one multi-chip configuration's outcome.
@@ -19,46 +21,55 @@ type ScalePoint struct {
 }
 
 // Scalability evaluates a set of parallelism configurations for one
-// workload (Tier 2, Table III / Figure 11). Placement failures are
+// workload (Tier 2, Table III / Figure 11). The points are swept
+// concurrently on the sweep engine's worker pool; the output order
+// matches configs regardless of pool size. Placement failures are
 // recorded, not fatal — they are findings.
 func Scalability(p platform.Platform, base platform.TrainSpec, configs []platform.Parallelism, labels []string) ([]ScalePoint, error) {
 	if len(configs) != len(labels) {
 		return nil, fmt.Errorf("core: %d configs but %d labels", len(configs), len(labels))
 	}
-	out := make([]ScalePoint, 0, len(configs))
-	for i, par := range configs {
-		spec := base
-		spec.Par = par
-		pt := ScalePoint{Label: labels[i], Par: par}
-		cr, err := p.Compile(spec)
-		if err != nil {
-			if !platform.IsCompileFailure(err) {
-				return nil, err
+	outs, err := sweep.Map(context.Background(), configs,
+		func(_ context.Context, i int, par platform.Parallelism) (ScalePoint, error) {
+			spec := base
+			spec.Par = par
+			pt := ScalePoint{Label: labels[i], Par: par}
+			cr, err := p.Compile(spec)
+			if err != nil {
+				if !platform.IsCompileFailure(err) {
+					return pt, err
+				}
+				pt.Failed = true
+				pt.FailReason = err.Error()
+				return pt, nil
 			}
-			pt.Failed = true
-			pt.FailReason = err.Error()
-			out = append(out, pt)
-			continue
-		}
-		rr, err := p.Run(cr)
-		if err != nil {
-			return nil, err
-		}
-		pt.TokensPerSec = rr.TokensPerSec
-		pt.SamplesPerSec = rr.SamplesPerSec
-		pt.Allocation = map[platform.Resource]float64{}
-		for r := range cr.Capacity {
-			pt.Allocation[r] = cr.AllocationRatio(r)
-		}
-		out = append(out, pt)
+			rr, err := p.Run(cr)
+			if err != nil {
+				return pt, err
+			}
+			pt.TokensPerSec = rr.TokensPerSec
+			pt.SamplesPerSec = rr.SamplesPerSec
+			pt.Allocation = map[platform.Resource]float64{}
+			for r := range cr.Capacity {
+				pt.Allocation[r] = cr.AllocationRatio(r)
+			}
+			return pt, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return sweep.Values(outs), nil
 }
 
 // DeployPoint is one deployment knob setting's outcome.
 type DeployPoint struct {
 	Label        string
 	TokensPerSec float64
+	// Batch is the batch size this point ran at (0 on precision-curve
+	// points). Batch-curve consumers must use it rather than indexing
+	// back into the swept batch list: points that fail to compile leave
+	// no curve entry, so positions and batches diverge.
+	Batch int
 }
 
 // DeploymentReport is the Tier-2 deployment-optimization result.
@@ -74,7 +85,9 @@ type DeploymentReport struct {
 
 // Deployment sweeps batch size and precision for one platform+model
 // (Tier 2, Figure 12 / Table IV) and extracts the paper-style
-// recommendations.
+// recommendations. Both sweeps fan out on the sweep engine; compile
+// failures drop the point from the curve (a finding), any other error
+// aborts.
 func Deployment(p platform.Platform, base platform.TrainSpec, batches []int, formats []precision.Format) (*DeploymentReport, error) {
 	if len(batches) == 0 || len(formats) == 0 {
 		return nil, fmt.Errorf("core: deployment sweep needs batches and formats")
@@ -93,55 +106,73 @@ func Deployment(p platform.Platform, base platform.TrainSpec, batches []int, for
 		return rr.TokensPerSec, nil
 	}
 
+	batchOuts, err := sweep.Map(context.Background(), batches,
+		func(_ context.Context, _ int, b int) (float64, error) {
+			spec := base
+			spec.Batch = b
+			return run(spec)
+		})
+	if err != nil {
+		return nil, err
+	}
 	best := 0.0
-	for _, b := range batches {
-		spec := base
-		spec.Batch = b
-		tps, err := run(spec)
-		if err != nil {
-			if platform.IsCompileFailure(err) {
-				continue
-			}
-			return nil, err
+	for i, o := range batchOuts {
+		if o.Failed() {
+			continue
 		}
-		rep.BatchCurve = append(rep.BatchCurve, DeployPoint{Label: fmt.Sprintf("B=%d", b), TokensPerSec: tps})
-		if tps > best {
-			best = tps
+		b := batches[i]
+		rep.BatchCurve = append(rep.BatchCurve, DeployPoint{
+			Label: fmt.Sprintf("B=%d", b), TokensPerSec: o.Value, Batch: b,
+		})
+		if o.Value > best {
+			best = o.Value
 			rep.BestBatch = b
 		}
 	}
 	if len(rep.BatchCurve) == 0 {
 		return nil, fmt.Errorf("core: no batch point compiled on %s", p.Name())
 	}
-	for i, b := range batches[:len(rep.BatchCurve)] {
-		if rep.BatchCurve[i].TokensPerSec >= 0.9*best {
-			rep.KneeBatch = b
+	// The knee is found on the surviving curve: each point carries its
+	// own batch, so failed points cannot misalign curve and batch list.
+	for _, pt := range rep.BatchCurve {
+		if pt.TokensPerSec >= 0.9*best {
+			rep.KneeBatch = pt.Batch
 			break
 		}
 	}
 
-	bestPrec := 0.0
-	worstPrec := 0.0
-	for i, f := range formats {
-		spec := base
-		spec.Precision = f
-		tps, err := run(spec)
-		if err != nil {
-			if platform.IsCompileFailure(err) {
-				continue
-			}
-			return nil, err
+	precOuts, err := sweep.Map(context.Background(), formats,
+		func(_ context.Context, _ int, f precision.Format) (float64, error) {
+			spec := base
+			spec.Precision = f
+			return run(spec)
+		})
+	if err != nil {
+		return nil, err
+	}
+	bestPrec, worstPrec := 0.0, 0.0
+	haveWorst := false
+	for i, o := range precOuts {
+		if o.Failed() {
+			continue
 		}
-		rep.PrecisionCurve = append(rep.PrecisionCurve, DeployPoint{Label: f.String(), TokensPerSec: tps})
+		tps := o.Value
+		rep.PrecisionCurve = append(rep.PrecisionCurve, DeployPoint{
+			Label: formats[i].String(), TokensPerSec: tps,
+		})
 		if tps > bestPrec {
 			bestPrec = tps
-			rep.BestPrecision = f
+			rep.BestPrecision = formats[i]
 		}
-		if i == 0 || tps < worstPrec {
+		// Seed the slowest-format tracker from the first *successful*
+		// point: seeding from index 0 reports a silent 0 gain whenever
+		// the first format fails to compile.
+		if !haveWorst || tps < worstPrec {
 			worstPrec = tps
+			haveWorst = true
 		}
 	}
-	if worstPrec > 0 {
+	if haveWorst && worstPrec > 0 {
 		rep.PrecisionGain = bestPrec/worstPrec - 1
 	}
 

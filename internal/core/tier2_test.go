@@ -1,0 +1,178 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dabench/internal/model"
+	"dabench/internal/platform"
+	"dabench/internal/precision"
+	"dabench/internal/rdu"
+	"dabench/internal/sweep"
+	"dabench/internal/wse"
+)
+
+// knobFake is a deterministic platform that fails to place chosen
+// batches/precisions and otherwise reports throughput = batch (or a
+// per-format table), so curve arithmetic is exactly checkable.
+type knobFake struct {
+	failBatch map[int]bool
+	failPrec  map[precision.Format]bool
+	precTPS   map[precision.Format]float64
+}
+
+func (f *knobFake) Name() string                { return "knob-fake" }
+func (f *knobFake) HardwareSpec() platform.Spec { return platform.Spec{Name: "knob-fake"} }
+
+func (f *knobFake) Compile(spec platform.TrainSpec) (*platform.CompileReport, error) {
+	if f.failBatch[spec.Batch] || f.failPrec[spec.Precision] {
+		return nil, &platform.CompileError{Platform: f.Name(), Reason: "does not fit"}
+	}
+	return &platform.CompileReport{Platform: f.Name(), Spec: spec}, nil
+}
+
+func (f *knobFake) Run(cr *platform.CompileReport) (*platform.RunReport, error) {
+	tps := float64(cr.Spec.Batch)
+	if v, ok := f.precTPS[cr.Spec.Precision]; ok {
+		tps = v
+	}
+	return &platform.RunReport{Compile: cr, TokensPerSec: tps}, nil
+}
+
+// TestDeploymentKneeSurvivesFailedBatch reproduces the seed bug: when a
+// batch point fails to compile, the knee must be read off the surviving
+// curve points, not off a misaligned prefix of the batch list.
+func TestDeploymentKneeSurvivesFailedBatch(t *testing.T) {
+	fake := &knobFake{failBatch: map[int]bool{50: true}}
+	rep, err := Deployment(fake,
+		platform.TrainSpec{Model: model.GPT2Small(), Batch: 1, Seq: 1024, Precision: precision.FP16},
+		[]int{50, 400, 800}, []precision.Format{precision.FP16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput == batch, so with B=50 failed the curve is {400, 800},
+	// best = 800, and the knee (≥ 0.9·800) is 800. The misaligned seed
+	// code walked batches[:2] = {50, 400} and reported 0.
+	if len(rep.BatchCurve) != 2 {
+		t.Fatalf("batch curve: %+v", rep.BatchCurve)
+	}
+	for _, pt := range rep.BatchCurve {
+		if pt.Batch == 0 || pt.Batch == 50 {
+			t.Errorf("curve point carries wrong batch: %+v", pt)
+		}
+	}
+	if rep.KneeBatch != 800 {
+		t.Errorf("knee batch = %d, want 800", rep.KneeBatch)
+	}
+	if rep.BestBatch != 800 {
+		t.Errorf("best batch = %d, want 800", rep.BestBatch)
+	}
+}
+
+// TestDeploymentPrecisionGainFirstFormatFails reproduces the second
+// seed bug: worstPrec stayed 0 when formats[0] failed to compile,
+// silently reporting PrecisionGain = 0.
+func TestDeploymentPrecisionGainFirstFormatFails(t *testing.T) {
+	fake := &knobFake{
+		failPrec: map[precision.Format]bool{precision.FP32: true},
+		precTPS:  map[precision.Format]float64{precision.FP16: 100, precision.BF16: 125},
+	}
+	rep, err := Deployment(fake,
+		platform.TrainSpec{Model: model.GPT2Small(), Batch: 8, Seq: 1024, Precision: precision.FP16},
+		[]int{8}, []precision.Format{precision.FP32, precision.FP16, precision.BF16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PrecisionCurve) != 2 {
+		t.Fatalf("precision curve: %+v", rep.PrecisionCurve)
+	}
+	if rep.BestPrecision != precision.BF16 {
+		t.Errorf("best precision = %v", rep.BestPrecision)
+	}
+	if rep.PrecisionGain < 0.24 || rep.PrecisionGain > 0.26 {
+		t.Errorf("precision gain = %v, want 0.25 (125/100 - 1)", rep.PrecisionGain)
+	}
+}
+
+// TestTier2ParallelMatchesSerial asserts that the sweep engine's
+// parallel path is observation-identical to workers=1 for both Tier-2
+// analyses on real simulators (run under -race in CI).
+func TestTier2ParallelMatchesSerial(t *testing.T) {
+	defer sweep.SetDefaultWorkers(0)
+
+	base := platform.TrainSpec{
+		Model: model.LLaMA2_70B(), Batch: 1, Seq: 4096, Precision: precision.BF16,
+	}
+	configs := []platform.Parallelism{
+		{Mode: platform.ModeO1, TensorParallel: 1}, // placement failure point
+		{Mode: platform.ModeO1, TensorParallel: 8},
+	}
+	labels := []string{"TP1", "TP8"}
+
+	sweep.SetDefaultWorkers(1)
+	serialScale, err := Scalability(rdu.New(), base, configs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialDeploy, err := Deployment(wse.New(), wseSpec(),
+		[]int{50, 200, 800}, []precision.Format{precision.FP16, precision.CB16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sweep.SetDefaultWorkers(8)
+	parScale, err := Scalability(rdu.New(), base, configs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parDeploy, err := Deployment(wse.New(), wseSpec(),
+		[]int{50, 200, 800}, []precision.Format{precision.FP16, precision.CB16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serialScale, parScale) {
+		t.Errorf("scalability diverged:\nserial:   %+v\nparallel: %+v", serialScale, parScale)
+	}
+	if !reflect.DeepEqual(serialDeploy, parDeploy) {
+		t.Errorf("deployment diverged:\nserial:   %+v\nparallel: %+v", serialDeploy, parDeploy)
+	}
+	if !parScale[0].Failed {
+		t.Error("TP1 placement failure not recorded")
+	}
+}
+
+// TestScalabilityThroughCachedPlatform checks the memoizing wrapper is
+// transparent to Tier-2: same points, and repeated sweeps hit the
+// cache.
+func TestScalabilityThroughCachedPlatform(t *testing.T) {
+	base := platform.TrainSpec{
+		Model: model.LLaMA2_7B(), Batch: 8, Seq: 4096, Precision: precision.BF16,
+	}
+	configs := []platform.Parallelism{
+		{Mode: platform.ModeO1, TensorParallel: 2},
+		{Mode: platform.ModeO1, TensorParallel: 4},
+	}
+	labels := []string{"TP2", "TP4"}
+
+	plain, err := Scalability(rdu.New(), base, configs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := platform.Cached(rdu.New())
+	first, err := Scalability(cached, base, configs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Scalability(cached, base, configs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, first) || !reflect.DeepEqual(first, second) {
+		t.Error("cached platform changed scalability results")
+	}
+	s := cached.CacheStats()
+	if s.Misses != 2 || s.Hits != 2 {
+		t.Errorf("cache stats = %+v, want 2 misses / 2 hits", s)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dabench/internal/sweep"
+)
+
+// render flattens every table of a result into one byte string.
+func render(t *testing.T, res *Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tbl := range res.Tables {
+		if err := tbl.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestParallelMatchesSerial runs a representative set of experiment
+// runners — layer sweeps with recorded failures (table1), RDU
+// mode×size grids (figure7), four-table composites (figure9), the
+// cross-platform throughput table (table3), and the Deployment-backed
+// batch curves (figure12) — once with a single worker and once on a
+// wide pool, and requires byte-identical tables plus deeply equal trace
+// records. Run with -race in CI, this is also the engine's
+// race-exercise over the real simulators.
+func TestParallelMatchesSerial(t *testing.T) {
+	defer sweep.SetDefaultWorkers(0)
+	for _, id := range []string{"table1", "figure7", "figure9", "table3", "figure12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			runner := All()[id]
+
+			sweep.SetDefaultWorkers(1)
+			ResetCaches()
+			serial, err := runner()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sweep.SetDefaultWorkers(8)
+			ResetCaches()
+			parallel, err := runner()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := render(t, parallel), render(t, serial); got != want {
+				t.Errorf("parallel tables diverge from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+			if !reflect.DeepEqual(serial.Trace, parallel.Trace) {
+				t.Error("parallel trace records diverge from serial")
+			}
+		})
+	}
+}
+
+// TestSharedCacheAcrossRunners asserts the cross-experiment payoff the
+// memoization exists for: Table I, Figure 6, Figure 9a and Figure 10
+// all walk the same GPT-2 layer ladder on the WSE, so running them
+// back-to-back must hit the shared cache.
+func TestSharedCacheAcrossRunners(t *testing.T) {
+	ResetCaches()
+	all := All()
+	for _, id := range []string{"table1", "figure6", "figure9", "figure10"} {
+		if _, err := all[id](); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	s := CacheStats()
+	if s.Hits == 0 {
+		t.Errorf("no cross-experiment cache hits: %+v", s)
+	}
+	if s.Misses == 0 {
+		t.Errorf("suspicious zero misses: %+v", s)
+	}
+}
+
+// TestInstrumentedResultsCarryStats checks the per-run accounting the
+// CLI prints: cache deltas and wall-clock.
+func TestInstrumentedResultsCarryStats(t *testing.T) {
+	ResetCaches()
+	res, err := All()["table1"]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("instrumented runner reported no wall-clock")
+	}
+	if res.Cache.Misses == 0 {
+		t.Errorf("cold-cache run reported no misses: %+v", res.Cache)
+	}
+	// Re-running the same experiment on the warm cache must be all hits.
+	res2, err := All()["table1"]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cache.Misses != 0 || res2.Cache.Hits == 0 {
+		t.Errorf("warm re-run stats = %+v, want pure hits", res2.Cache)
+	}
+	if res2.Cache.HitRate() != 1 {
+		t.Errorf("warm hit rate = %v", res2.Cache.HitRate())
+	}
+}

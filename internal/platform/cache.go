@@ -1,0 +1,129 @@
+package platform
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Imbalancer is implemented by platforms with a native operator-level
+// load-imbalance computation (the RDU's section/operator hierarchy).
+// Cached wrappers preserve it so the core's LI dispatch is unchanged.
+type Imbalancer interface {
+	LoadImbalance(*CompileReport) (float64, error)
+}
+
+// CacheStats is a snapshot of a compile cache's hit/miss counters.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s CacheStats) Sub(earlier CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits - earlier.Hits, Misses: s.Misses - earlier.Misses}
+}
+
+// Add merges two snapshots.
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
+}
+
+// HitRate returns hits over total lookups (0 when no lookups).
+func (s CacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// CachedPlatform is a Platform whose Compile is memoized.
+type CachedPlatform interface {
+	Platform
+	// CacheStats returns the current hit/miss counters.
+	CacheStats() CacheStats
+	// ResetCache drops all cached reports and zeroes the counters.
+	ResetCache()
+	// Unwrap returns the underlying platform.
+	Unwrap() Platform
+}
+
+// Cached wraps p with a concurrency-safe memoizing Compile: identical
+// TrainSpecs (by TrainSpec.Key) compile once; concurrent callers of an
+// in-flight key block until the single underlying compile finishes and
+// then share its report (singleflight). Both successful reports and
+// compile errors are cached — the simulators are deterministic,
+// stateless pure functions of the spec, so a cached outcome is
+// indistinguishable from a fresh one. Cached reports are shared, not
+// copied: callers must treat a CompileReport as immutable (Run already
+// does).
+//
+// If p natively computes load imbalance (Imbalancer), the wrapper
+// forwards it so core.Profile keeps using the operator-level path.
+func Cached(p Platform) CachedPlatform {
+	c := &cached{p: p, entries: map[string]*cacheEntry{}}
+	if li, ok := p.(Imbalancer); ok {
+		return &cachedImbalancer{cached: c, li: li}
+	}
+	return c
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when cr/err are set
+	cr   *CompileReport
+	err  error
+}
+
+type cached struct {
+	p            Platform
+	mu           sync.Mutex
+	entries      map[string]*cacheEntry
+	hits, misses atomic.Int64
+}
+
+func (c *cached) Name() string       { return c.p.Name() }
+func (c *cached) HardwareSpec() Spec { return c.p.HardwareSpec() }
+func (c *cached) Unwrap() Platform   { return c.p }
+
+func (c *cached) Compile(spec TrainSpec) (*CompileReport, error) {
+	key := spec.Key()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.cr, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e.cr, e.err = c.p.Compile(spec)
+	close(e.done)
+	return e.cr, e.err
+}
+
+func (c *cached) Run(cr *CompileReport) (*RunReport, error) { return c.p.Run(cr) }
+
+func (c *cached) CacheStats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+func (c *cached) ResetCache() {
+	c.mu.Lock()
+	c.entries = map[string]*cacheEntry{}
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// cachedImbalancer adds the native-LI forwarding for platforms that
+// implement it; a separate type so a cached WSE does not spuriously
+// satisfy Imbalancer.
+type cachedImbalancer struct {
+	*cached
+	li Imbalancer
+}
+
+func (c *cachedImbalancer) LoadImbalance(cr *CompileReport) (float64, error) {
+	return c.li.LoadImbalance(cr)
+}

@@ -1,0 +1,34 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Key returns a canonical fingerprint of the spec: two specs have equal
+// keys if and only if every field a simulator can observe is equal —
+// the full model configuration, batch shape, precision, and the
+// complete Parallelism including the LayerAssignment pinning and
+// compile mode. The simulators are deterministic pure functions of the
+// spec, so Key is a sound memoization key for Compile.
+func (s TrainSpec) Key() string {
+	var b strings.Builder
+	m := s.Model
+	// Name is the only free-form string in the spec; %q-escape it so a
+	// crafted name cannot forge another spec's delimiter sequence.
+	fmt.Fprintf(&b, "m=%q;fam=%d;h=%d;l=%d;nh=%d;kv=%d;ffn=%d;v=%d;ms=%d;tied=%t;pos=%t;norm=%d;act=%d",
+		m.Name, m.Family, m.HiddenSize, m.NumLayers, m.NumHeads, m.KVHeads,
+		m.FFNHidden, m.VocabSize, m.MaxSeqLen, m.TiedEmbeddings, m.LearnedPos,
+		m.Norm, m.Activation)
+	fmt.Fprintf(&b, "|b=%d;s=%d;f=%d", s.Batch, s.Seq, s.Precision)
+	p := s.Par
+	fmt.Fprintf(&b, "|dp=%d;tp=%d;pp=%d;ws=%t;mode=%d;la=",
+		p.DataParallel, p.TensorParallel, p.PipelineParallel, p.WeightStreaming, p.Mode)
+	for i, l := range p.LayerAssignment {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", l)
+	}
+	return b.String()
+}

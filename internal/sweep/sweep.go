@@ -1,0 +1,194 @@
+// Package sweep is the concurrent sweep engine behind every Tier-2
+// analysis and experiment runner: a bounded worker pool that fans a
+// slice of sweep points out over the available cores while keeping the
+// results exactly as ordered — and therefore exactly as rendered — as
+// the serial loops it replaces.
+//
+// The engine distinguishes two failure classes, mirroring the
+// framework's own semantics:
+//
+//   - Tolerated errors (by default placement failures, the paper's
+//     "Fail" table entries) are findings: they are recorded in the
+//     point's Outcome and the sweep continues.
+//   - Hard errors (invalid input, simulator bugs) cancel the pool; the
+//     first one observed at the lowest index is returned.
+//
+// The pool size defaults to runtime.GOMAXPROCS(0) and can be overridden
+// per call with Workers or process-wide with SetDefaultWorkers (the
+// CLI's -parallel flag). Setting it to 1 reproduces the serial path
+// bit-for-bit, which the determinism tests assert.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dabench/internal/platform"
+)
+
+// defaultWorkers holds the process-wide override; <= 0 means
+// "automatic" (GOMAXPROCS at call time).
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default pool size used when a
+// Map call passes no Workers option. n <= 0 restores the automatic
+// default of runtime.GOMAXPROCS(0).
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the effective default pool size.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Outcome couples one sweep point's value with its tolerated error.
+// Err is non-nil only when fn returned an error the sweep's tolerance
+// predicate accepted (a recorded finding, not a fault).
+type Outcome[R any] struct {
+	Value R
+	Err   error
+}
+
+// Failed reports whether the point was a tolerated failure.
+func (o Outcome[R]) Failed() bool { return o.Err != nil }
+
+// Option configures one Map call.
+type Option func(*options)
+
+type options struct {
+	workers  int
+	tolerate func(error) bool
+}
+
+// Workers bounds the pool at n concurrent workers for this call.
+func Workers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// Tolerating replaces the tolerated-error predicate (default:
+// platform.IsCompileFailure). Tolerating(nil) makes every error hard.
+func Tolerating(f func(error) bool) Option {
+	return func(o *options) {
+		if f == nil {
+			f = func(error) bool { return false }
+		}
+		o.tolerate = f
+	}
+}
+
+// Map applies fn to every item on a bounded worker pool and returns the
+// outcomes in input order. fn receives the item's index alongside the
+// item so callers can pair results with parallel label slices.
+//
+// A tolerated error (see Tolerating) is stored in that index's Outcome
+// together with whatever partial value fn returned. A hard error
+// cancels the pool's context, stops feeding new items, and is returned
+// once the workers drain; when several workers hit hard errors the one
+// at the lowest index wins, and cancellation fallout (context.Canceled
+// / DeadlineExceeded surfaced by ctx-respecting fns after another
+// worker failed) never outranks a real error — so the reported error
+// does not depend on scheduling. Cancellation of the caller's ctx is
+// returned as ctx.Err() unless a hard error was also observed.
+func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, i int, item T) (R, error), opts ...Option) ([]Outcome[R], error) {
+	o := options{workers: DefaultWorkers(), tolerate: platform.IsCompileFailure}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 1 {
+		o.workers = 1
+	}
+	if o.workers > len(items) {
+		o.workers = len(items)
+	}
+
+	out := make([]Outcome[R], len(items))
+	if len(items) == 0 {
+		return out, ctx.Err()
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		firstIdx  = -1
+		firstErr  error
+		cancelErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		// Cancellation fallout from a ctx-respecting fn must not mask
+		// the root-cause error another worker reported: real errors
+		// always outrank context errors, whatever their indices.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelErr == nil {
+				cancelErr = err
+			}
+		} else if firstIdx == -1 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				v, err := fn(ctx, i, items[i])
+				if err != nil && !o.tolerate(err) {
+					fail(i, err)
+					return
+				}
+				out[i] = Outcome[R]{Value: v, Err: err}
+			}
+		}()
+	}
+
+dispatch:
+	for i := range items {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	return out, nil
+}
+
+// Values unwraps a fully successful sweep into its plain values,
+// dropping the Outcome envelopes. It is a convenience for callers whose
+// fn never returns tolerated errors (failures already folded into R).
+func Values[R any](outs []Outcome[R]) []R {
+	vals := make([]R, len(outs))
+	for i, o := range outs {
+		vals[i] = o.Value
+	}
+	return vals
+}

@@ -1,0 +1,199 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dabench/internal/platform"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	outs, err := Map(context.Background(), items, func(_ context.Context, i, v int) (int, error) {
+		return v * v, nil
+	}, Workers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(items) {
+		t.Fatalf("got %d outcomes for %d items", len(outs), len(items))
+	}
+	for i, o := range outs {
+		if o.Err != nil || o.Value != i*i {
+			t.Fatalf("outs[%d] = %+v, want %d", i, o, i*i)
+		}
+	}
+}
+
+func TestMapPassesIndex(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	outs, err := Map(context.Background(), []int{10, 20, 30}, func(_ context.Context, i, v int) (string, error) {
+		return fmt.Sprintf("%s=%d", labels[i], v), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a=10", "b=20", "c=30"}
+	for i, o := range outs {
+		if o.Value != want[i] {
+			t.Errorf("outs[%d] = %q, want %q", i, o.Value, want[i])
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	items := make([]int, 64)
+	_, err := Map(context.Background(), items, func(_ context.Context, _, _ int) (int, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+		return 0, nil
+	}, Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent workers, bound is %d", p, workers)
+	}
+}
+
+func TestMapToleratesCompileFailures(t *testing.T) {
+	items := []int{1, 2, 3, 4}
+	outs, err := Map(context.Background(), items, func(_ context.Context, _, v int) (int, error) {
+		if v%2 == 0 {
+			return 0, &platform.CompileError{Platform: "test", Reason: "no fit"}
+		}
+		return v * 10, nil
+	}, Workers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		wantFail := items[i]%2 == 0
+		if o.Failed() != wantFail {
+			t.Errorf("outs[%d].Failed() = %v, want %v", i, o.Failed(), wantFail)
+		}
+		if !wantFail && o.Value != items[i]*10 {
+			t.Errorf("outs[%d].Value = %d", i, o.Value)
+		}
+	}
+}
+
+func TestMapHardErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	items := make([]int, 1000)
+	outs, err := Map(context.Background(), items, func(ctx context.Context, i, _ int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(2 * time.Millisecond):
+		}
+		return 0, nil
+	}, Workers(2))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if outs != nil {
+		t.Error("failed sweep should return nil outcomes")
+	}
+	if n := started.Load(); n == int64(len(items)) {
+		t.Error("hard error did not stop the dispatcher")
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	var release sync.WaitGroup
+	release.Add(1)
+	_, err := Map(context.Background(), []int{0, 1}, func(_ context.Context, i, _ int) (int, error) {
+		if i == 0 {
+			release.Wait() // ensure index 1 fails first
+			return 0, errLow
+		}
+		defer release.Done()
+		return 0, errHigh
+	}, Workers(2), Tolerating(nil))
+	if !errors.Is(err, errLow) {
+		t.Errorf("err = %v, want the lowest-index error", err)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := make([]int, 50)
+	_, err := Map(ctx, items, func(_ context.Context, _, _ int) (int, error) {
+		return 0, nil
+	}, Workers(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapEmptyAndSerial(t *testing.T) {
+	outs, err := Map(context.Background(), nil, func(_ context.Context, _ int, _ struct{}) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(outs) != 0 {
+		t.Fatalf("empty sweep: outs=%v err=%v", outs, err)
+	}
+
+	// Workers(1) must visit items strictly in order.
+	var seen []int
+	_, err = Map(context.Background(), []int{5, 6, 7}, func(_ context.Context, i, _ int) (int, error) {
+		seen = append(seen, i)
+		return 0, nil
+	}, Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if s != i {
+			t.Fatalf("serial visit order %v", seen)
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("automatic default = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Errorf("explicit default = %d, want 3", got)
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("reset default = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestValues(t *testing.T) {
+	outs := []Outcome[int]{{Value: 1}, {Value: 2}}
+	vals := Values(outs)
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Errorf("Values = %v", vals)
+	}
+}
