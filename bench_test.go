@@ -15,10 +15,14 @@ import (
 	"testing"
 
 	dabench "dabench"
+	"dabench/internal/graph"
+	"dabench/internal/model"
+	"dabench/internal/precision"
 )
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := dabench.RunExperiment(id)
 		if err != nil {
@@ -41,6 +45,7 @@ func benchExperiment(b *testing.B, id string) {
 func BenchmarkAllExperiments(b *testing.B) {
 	runAll := func(b *testing.B, workers int) {
 		b.Helper()
+		b.ReportAllocs()
 		dabench.SetSweepWorkers(workers)
 		defer dabench.SetSweepWorkers(0)
 		b.ResetTimer()
@@ -60,6 +65,11 @@ func BenchmarkAllExperiments(b *testing.B) {
 		s := dabench.ExperimentCacheStats()
 		b.ReportMetric(float64(s.Hits), "cache-hits/op")
 		b.ReportMetric(100*s.HitRate(), "cache-hit-%")
+		g := dabench.ExperimentGraphCacheStats()
+		b.ReportMetric(float64(g.Hits), "graph-hits/op")
+		b.ReportMetric(float64(g.Misses), "graph-builds/op")
+		r := dabench.ExperimentRunCacheStats()
+		b.ReportMetric(float64(r.Hits), "run-hits/op")
 	}
 	b.Run("serial", func(b *testing.B) { runAll(b, 1) })
 	b.Run("parallel", func(b *testing.B) { runAll(b, runtime.GOMAXPROCS(0)) })
@@ -77,6 +87,93 @@ func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "figure11") }
 func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "figure12") }
 func BenchmarkTableIV(b *testing.B)  { benchExperiment(b, "table4") }
 
+// BenchmarkGraphBuild measures lowering a model to its training graph
+// — the inner work the graph cache memoizes. "build" is the raw
+// lowering; "cached-warm" is the memoized path the mode grids and TP
+// ladders actually take after the first compile.
+func BenchmarkGraphBuild(b *testing.B) {
+	opts := graph.BuildOptions{Batch: 512, Seq: 1024, Precision: precision.FP16, Backward: true}
+	for _, cfg := range []struct {
+		name  string
+		model dabench.ModelConfig
+	}{{"gpt2-small-12L", model.GPT2Small()}, {"gpt2-small-48L", model.GPT2Small().WithLayers(48)}, {"llama2-7b", model.LLaMA2_7B()}} {
+		b.Run(cfg.name+"/build", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.Build(cfg.model, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(cfg.name+"/cached-warm", func(b *testing.B) {
+			b.ReportAllocs()
+			graph.ResetCache()
+			if _, err := graph.Cached(cfg.model, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.Cached(cfg.model, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures one workload's compile on each platform,
+// cold (fresh caches every iteration — the true lowering cost) and
+// warm (the memoized steady state sweeps actually run in).
+func BenchmarkCompile(b *testing.B) {
+	cases := []struct {
+		name string
+		p    dabench.Platform
+		spec dabench.TrainSpec
+	}{
+		{"wse", dabench.NewWSE(), dabench.TrainSpec{
+			Model: dabench.GPT2Small(), Batch: 512, Seq: 1024, Precision: dabench.FP16}},
+		{"rdu-o1", dabench.NewRDU(), dabench.TrainSpec{
+			Model: dabench.LLaMA2_7B(), Batch: 8, Seq: 4096, Precision: dabench.BF16,
+			Par: dabench.Parallelism{Mode: dabench.ModeO1, TensorParallel: 2}}},
+		{"ipu", dabench.NewIPU(), dabench.TrainSpec{
+			Model: dabench.GPT2Small().WithLayers(4), Batch: 2048, Seq: 1024, Precision: dabench.FP16,
+			Par: dabench.Parallelism{PipelineParallel: 4}}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graph.ResetCache()
+				if _, err := tc.p.Compile(tc.spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/warm", func(b *testing.B) {
+			b.ReportAllocs()
+			graph.ResetCache()
+			c := dabench.Cached(tc.p)
+			cr, err := c.Compile(tc.spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Run(cr); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cr, err := c.Compile(tc.spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Run(cr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationRDUFusion compares O1 (fused) against O0
 // (per-operator sections): the fusion design choice behind the paper's
 // O1-vs-O0 TFLOPs gap.
@@ -90,6 +187,7 @@ func BenchmarkAblationRDUFusion(b *testing.B) {
 		m    dabench.Parallelism
 	}{{"O0", dabench.Parallelism{Mode: dabench.ModeO0}}, {"O1", dabench.Parallelism{Mode: dabench.ModeO1}}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			s := spec
 			s.Par = mode.m
 			p := dabench.NewRDU()
@@ -115,6 +213,7 @@ func BenchmarkAblationWSEElastic(b *testing.B) {
 			name = "deep-elastic-shrink"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := dabench.NewWSE()
 			spec := dabench.TrainSpec{
 				Model: dabench.GPT2Small().WithLayers(layers), Batch: 512, Seq: 1024,
@@ -141,6 +240,7 @@ func BenchmarkAblationIPUBalance(b *testing.B) {
 		assign []int
 	}{{"balanced", []int{2, 2, 2}}, {"skewed", []int{4, 1, 1}}} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := dabench.NewIPU()
 			spec := dabench.TrainSpec{
 				Model: dabench.GPT2Small().WithLayers(6), Batch: 2048, Seq: 1024,

@@ -9,9 +9,11 @@
 //	dabench list                                 list platforms, models and experiment IDs
 //
 // Add -csv to print CSV instead of aligned text. Experiment sweeps fan
-// out over -parallel workers (default: all cores) through a shared
-// compile cache; per-experiment wall-clock and cache hit/miss stats go
-// to stderr so they never pollute the table streams.
+// out over -parallel workers (default: all cores) through the shared
+// graph/compile/run caches; per-experiment wall-clock and per-tier
+// cache hit/miss stats go to stderr so they never pollute the table
+// streams. -cpuprofile and -memprofile write pprof profiles so perf
+// work on the pipeline stays measurement-driven.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dabench/internal/core"
@@ -65,11 +68,39 @@ func runExperiments(args []string) error {
 	traceOut := fs.String("trace", "", "append raw measurement records (JSON lines) to this file")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size (1 = serial)")
 	quiet := fs.Bool("q", false, "suppress per-experiment timing/cache stats on stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // flush unreachable allocations so the profile reflects live + cumulative alloc sites
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dabench: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dabench: memprofile:", err)
+			}
+		}()
 	}
 	sweep.SetDefaultWorkers(*parallel)
 	defer sweep.SetDefaultWorkers(0)
@@ -97,10 +128,11 @@ func runExperiments(args []string) error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		if !*quiet {
-			s := res.Cache
-			fmt.Fprintf(os.Stderr, "# %-8s %8.2fms wall (%d workers) · compile cache %d hits / %d misses (%.0f%% hit rate)\n",
+			s, r, g := res.Cache, res.RunCache, res.GraphCache
+			fmt.Fprintf(os.Stderr, "# %-8s %8.2fms wall (%d workers) · compile cache %d/%d hits (%.0f%%) · run cache %d/%d · graph cache %d/%d\n",
 				id, float64(res.Elapsed.Microseconds())/1000, *parallel,
-				s.Hits, s.Misses, 100*s.HitRate())
+				s.Hits, s.Hits+s.Misses, 100*s.HitRate(),
+				r.Hits, r.Hits+r.Misses, g.Hits, g.Hits+g.Misses)
 		}
 		for _, t := range res.Tables {
 			var werr error
@@ -123,8 +155,11 @@ func runExperiments(args []string) error {
 	}
 	if !*quiet {
 		total := experiments.CacheStats()
-		fmt.Fprintf(os.Stderr, "# total: compile cache %d hits / %d misses (%.0f%% hit rate) across %d experiments\n",
-			total.Hits, total.Misses, 100*total.HitRate(), len(ids))
+		run := experiments.RunCacheStats()
+		g := experiments.GraphCacheStats()
+		fmt.Fprintf(os.Stderr, "# total: compile cache %d/%d hits (%.0f%%) · run cache %d/%d · graph cache %d/%d across %d experiments\n",
+			total.Hits, total.Hits+total.Misses, 100*total.HitRate(),
+			run.Hits, run.Hits+run.Misses, g.Hits, g.Hits+g.Misses, len(ids))
 	}
 	return nil
 }

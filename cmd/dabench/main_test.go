@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"list"}); err != nil {
@@ -43,6 +48,30 @@ func TestRunExperimentsSelection(t *testing.T) {
 	}
 	if err := run([]string{"experiments", "nope"}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentsProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	if err := run([]string{"experiments", "-q", "-cpuprofile", cpu, "-memprofile", mem, "table1"}); err != nil {
+		if strings.Contains(err.Error(), "cpu profiling already in use") {
+			t.Skip("test binary is running under go test -cpuprofile")
+		}
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if err := run([]string{"experiments", "-cpuprofile", filepath.Join(dir, "no", "such", "dir", "x"), "table1"}); err == nil {
+		t.Error("unwritable cpuprofile path accepted")
 	}
 }
 

@@ -164,10 +164,20 @@ func SetSweepWorkers(n int) { sweep.SetDefaultWorkers(n) }
 // SweepWorkers returns the effective sweep pool size.
 func SweepWorkers() int { return sweep.DefaultWorkers() }
 
-// ResetExperimentCaches drops the compile caches shared by the
-// experiment runners — benchmarks use it to measure cold-cache runs.
+// ResetExperimentCaches drops every memoization tier the experiment
+// runners share — the graph build cache, the per-platform compile
+// caches, and the run-report caches — so benchmarks can measure
+// cold-cache runs.
 func ResetExperimentCaches() { experiments.ResetCaches() }
 
 // ExperimentCacheStats aggregates the experiment runners' shared
 // compile-cache counters.
 func ExperimentCacheStats() CacheStats { return experiments.CacheStats() }
+
+// ExperimentRunCacheStats aggregates the experiment runners' shared
+// run-report cache counters.
+func ExperimentRunCacheStats() CacheStats { return experiments.RunCacheStats() }
+
+// ExperimentGraphCacheStats reports the shared graph build cache's
+// counters (the memoization tier below every compile cache).
+func ExperimentGraphCacheStats() CacheStats { return experiments.GraphCacheStats() }

@@ -1,0 +1,29 @@
+// Package cachestats provides the hit/miss counter snapshot shared by
+// every memoization tier (graph build cache, compile cache, run-report
+// cache). It sits below both internal/graph and internal/platform so
+// neither layer has to import the other to report uniform stats.
+package cachestats
+
+// Stats is a snapshot of a cache's hit/miss counters.
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{Hits: s.Hits - earlier.Hits, Misses: s.Misses - earlier.Misses}
+}
+
+// Add merges two snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
+}
+
+// HitRate returns hits over total lookups (0 when no lookups).
+func (s Stats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}

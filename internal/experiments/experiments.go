@@ -23,6 +23,7 @@ import (
 
 	"dabench/internal/core"
 	"dabench/internal/gpu"
+	"dabench/internal/graph"
 	"dabench/internal/ipu"
 	"dabench/internal/model"
 	"dabench/internal/platform"
@@ -43,6 +44,12 @@ type Result struct {
 	// Cache is the shared compile-cache activity attributable to this
 	// run (hit/miss deltas across all platforms).
 	Cache platform.CacheStats
+	// RunCache is the run-report cache activity attributable to this
+	// run (hit/miss deltas across all platforms).
+	RunCache platform.CacheStats
+	// GraphCache is the graph build-cache activity attributable to this
+	// run (the tier below the compile cache).
+	GraphCache platform.CacheStats
 	// Elapsed is the runner's wall-clock time.
 	Elapsed time.Duration
 }
@@ -65,8 +72,9 @@ func rduPlat() platform.CachedPlatform { platMu.RLock(); defer platMu.RUnlock();
 func ipuPlat() platform.CachedPlatform { platMu.RLock(); defer platMu.RUnlock(); return cachedIPU }
 func gpuPlat() platform.CachedPlatform { platMu.RLock(); defer platMu.RUnlock(); return cachedGPU }
 
-// ResetCaches discards every memoized compile and zeroes the counters —
-// used by benchmarks that need cold-cache iterations.
+// ResetCaches discards every memoization tier the runners share — the
+// platform compile/run caches and the graph build cache below them —
+// and zeroes all counters. Benchmarks use it for cold-cache iterations.
 func ResetCaches() {
 	platMu.Lock()
 	defer platMu.Unlock()
@@ -74,6 +82,7 @@ func ResetCaches() {
 	cachedRDU = platform.Cached(rdu.New())
 	cachedIPU = platform.Cached(ipu.New())
 	cachedGPU = platform.Cached(gpu.New())
+	graph.ResetCache()
 }
 
 // CacheStats aggregates the compile-cache counters across the four
@@ -88,17 +97,37 @@ func CacheStats() platform.CacheStats {
 	return s
 }
 
+// RunCacheStats aggregates the run-report cache counters across the
+// four shared platforms.
+func RunCacheStats() platform.CacheStats {
+	platMu.RLock()
+	defer platMu.RUnlock()
+	var s platform.CacheStats
+	for _, c := range []platform.CachedPlatform{cachedWSE, cachedRDU, cachedIPU, cachedGPU} {
+		s = s.Add(c.RunCacheStats())
+	}
+	return s
+}
+
+// GraphCacheStats reports the graph build cache's counters (the shared
+// tier below every platform's compile cache).
+func GraphCacheStats() platform.CacheStats { return graph.Stats() }
+
 // instrument decorates a runner with cache-delta and wall-clock
-// accounting.
+// accounting across all three memoization tiers.
 func instrument(f Runner) Runner {
 	return func() (*Result, error) {
 		start := time.Now()
 		before := CacheStats()
+		beforeRun := RunCacheStats()
+		beforeGraph := GraphCacheStats()
 		res, err := f()
 		if err != nil {
 			return nil, err
 		}
 		res.Cache = CacheStats().Sub(before)
+		res.RunCache = RunCacheStats().Sub(beforeRun)
+		res.GraphCache = GraphCacheStats().Sub(beforeGraph)
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}

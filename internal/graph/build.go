@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"strconv"
 
 	"dabench/internal/model"
 	"dabench/internal/precision"
@@ -19,8 +20,40 @@ type BuildOptions struct {
 	Backward bool
 }
 
+// LayerPrefix returns the canonical "L<l>/" operator-name prefix for
+// decoder block l. The first prefixes are served from a precomputed
+// table so per-layer loops don't re-format the same small integers.
+func LayerPrefix(l int) string {
+	if l >= 0 && l < len(layerPrefixes) {
+		return layerPrefixes[l]
+	}
+	return "L" + strconv.Itoa(l) + "/"
+}
+
+// layerPrefixes covers every layer count the paper sweeps (≤ 128).
+var layerPrefixes = func() [128]string {
+	var t [128]string
+	for i := range t {
+		t[i] = "L" + strconv.Itoa(i) + "/"
+	}
+	return t
+}()
+
+// nodeCountHint estimates the built graph's node count for slice/map
+// preallocation: the forward pass has 12 operators per decoder block
+// plus 4 shared ones; backward roughly mirrors it and adds an optimizer
+// node per parameterized operator (6 per block + 3 shared).
+func nodeCountHint(layers int, backward bool) int {
+	fwd := 12*layers + 4
+	if !backward {
+		return fwd
+	}
+	return 2*fwd + 6*layers + 3
+}
+
 // Build lowers a model configuration to its training (or inference)
-// computation graph at the given batch shape.
+// computation graph at the given batch shape. The returned graph is
+// immutable (see the package comment's immutability contract).
 func Build(cfg model.Config, opts BuildOptions) (*Graph, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -29,11 +62,12 @@ func Build(cfg model.Config, opts BuildOptions) (*Graph, error) {
 		return nil, fmt.Errorf("graph: batch shape (%d,%d) must be positive", opts.Batch, opts.Seq)
 	}
 	b := builder{
-		g:      New(),
+		g:      NewSized(nodeCountHint(cfg.NumLayers, opts.Backward)),
 		cfg:    cfg,
 		tokens: float64(opts.Batch) * float64(opts.Seq),
 		seq:    float64(opts.Seq),
 		elem:   opts.Precision.BytesPerElement(),
+		fwd:    make([]*Node, 0, nodeCountHint(cfg.NumLayers, false)),
 	}
 	b.buildForward()
 	if opts.Backward {
@@ -119,7 +153,8 @@ func (b *builder) buildForward() {
 // returns the block output node.
 func (b *builder) buildDecoder(l int, in *Node, h, f, v, kvFrac, heads float64) *Node {
 	cfg := b.cfg
-	name := func(op string) string { return fmt.Sprintf("L%d/%s", l, op) }
+	prefix := LayerPrefix(l)
+	name := func(op string) string { return prefix + op }
 	elems := b.elem
 	normBytes := units.Bytes(float64(cfg.NormParams()) * elems)
 

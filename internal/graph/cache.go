@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"dabench/internal/cachestats"
+	"dabench/internal/memo"
+	"dabench/internal/model"
+)
+
+// CacheStats is a snapshot of the build cache's hit/miss counters (the
+// shared cachestats.Stats — one type across the graph/compile/run
+// tiers).
+type CacheStats = cachestats.Stats
+
+// cacheKey is the canonical fingerprint of everything Build observes:
+// the full model configuration and the build options. Both are flat
+// comparable structs (no slices, maps or pointers), so Go map equality
+// on the pair is exactly field-by-field equality — two keys collide if
+// and only if Build would construct byte-identical graphs. Parallelism
+// and compile mode are deliberately absent: they shape how a platform
+// partitions a graph, never the graph itself, which is what lets the
+// RDU's O0/O1/O3 mode grids and the TP ladders share one build.
+type cacheKey struct {
+	cfg  model.Config
+	opts BuildOptions
+}
+
+var buildCache = memo.New[cacheKey, *Graph]()
+
+// Cached is a process-wide memoized Build with singleflight semantics:
+// identical (cfg, opts) pairs lower once, concurrent callers of an
+// in-flight key block until the single underlying build finishes, and
+// both successful graphs and build errors are cached (Build is a
+// deterministic pure function of its inputs).
+//
+// Cached graphs are shared, not copied. This is sound because of the
+// package's immutability contract: a *Graph is frozen the moment Build
+// returns — every exported Graph method is read-only, and callers must
+// never invoke AddNode/AddEdge/MustEdge on a graph they did not build
+// themselves. TestCachedGraphImmutability guards the contract.
+func Cached(cfg model.Config, opts BuildOptions) (*Graph, error) {
+	return buildCache.Do(cacheKey{cfg: cfg, opts: opts}, func() (*Graph, error) {
+		return Build(cfg, opts)
+	})
+}
+
+// Stats returns the build cache's current hit/miss counters.
+func Stats() CacheStats { return buildCache.Stats() }
+
+// ResetCache drops every memoized graph and zeroes the counters — used
+// by benchmarks that need cold-cache iterations.
+func ResetCache() { buildCache.Reset() }

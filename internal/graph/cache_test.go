@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dabench/internal/model"
+	"dabench/internal/precision"
+)
+
+func testOpts() BuildOptions {
+	return BuildOptions{Batch: 8, Seq: 1024, Precision: precision.FP16, Backward: true}
+}
+
+func TestCachedDedupsIdenticalInputs(t *testing.T) {
+	ResetCache()
+	g1, err := Cached(model.GPT2Small(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Cached(model.GPT2Small(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("identical (cfg, opts) must share one cached graph")
+	}
+	if s := Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+
+	// Any observable knob must miss.
+	opts := testOpts()
+	opts.Batch = 16
+	g3, err := Cached(model.GPT2Small(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 {
+		t.Error("different batch shared a cached graph")
+	}
+	g4, err := Cached(model.GPT2Small().WithLayers(7), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4 == g1 {
+		t.Error("different layer count shared a cached graph")
+	}
+	if s := Stats(); s.Misses != 3 {
+		t.Errorf("stats = %+v, want 3 misses", s)
+	}
+}
+
+func TestCachedMatchesBuild(t *testing.T) {
+	ResetCache()
+	cached, err := Cached(model.LLaMA2_7B(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(model.LLaMA2_7B(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snapshot(cached), snapshot(fresh)) {
+		t.Error("cached graph diverges from a fresh Build of the same inputs")
+	}
+}
+
+func TestCachedCachesErrors(t *testing.T) {
+	ResetCache()
+	bad := BuildOptions{Batch: 0, Seq: 1024, Precision: precision.FP16}
+	for i := 0; i < 3; i++ {
+		if _, err := Cached(model.GPT2Small(), bad); err == nil {
+			t.Fatal("invalid batch shape must fail")
+		}
+	}
+	if s := Stats(); s.Misses != 1 || s.Hits != 2 {
+		t.Errorf("stats = %+v, want the deterministic error built once", s)
+	}
+}
+
+func TestCachedSingleflight(t *testing.T) {
+	ResetCache()
+	const callers = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	graphs := make([]*Graph, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			g, err := Cached(model.GPT2Small(), testOpts())
+			if err != nil {
+				t.Error(err)
+			}
+			graphs[i] = g
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatal("concurrent identical builds produced distinct graphs")
+		}
+	}
+	if s := Stats(); s.Misses != 1 || s.Hits != callers-1 {
+		t.Errorf("stats = %+v, want %d hits / 1 miss", s, callers-1)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	ResetCache()
+	g1, err := Cached(model.GPT2Small(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	if s := Stats(); s != (CacheStats{}) {
+		t.Errorf("stats after reset = %+v", s)
+	}
+	g2, err := Cached(model.GPT2Small(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 == g2 {
+		t.Error("reset cache still returned the old graph")
+	}
+}
+
+func TestCacheStatsSub(t *testing.T) {
+	a := CacheStats{Hits: 5, Misses: 3}
+	if d := a.Sub(CacheStats{Hits: 2, Misses: 1}); d.Hits != 3 || d.Misses != 2 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+// snapshot deep-copies everything a consumer can observe about a graph:
+// node values in ID order plus the successor/predecessor lists.
+func snapshot(g *Graph) []Node {
+	out := make([]Node, 0, g.Len())
+	for _, n := range g.Nodes() {
+		out = append(out, *n)
+	}
+	return out
+}
+
+// adjacency captures the edge structure via the public accessors.
+func adjacency(g *Graph) [][2][]int {
+	out := make([][2][]int, g.Len())
+	for i, n := range g.Nodes() {
+		for _, s := range g.Successors(n) {
+			out[i][0] = append(out[i][0], s.ID)
+		}
+		for _, p := range g.Predecessors(n) {
+			out[i][1] = append(out[i][1], p.ID)
+		}
+	}
+	return out
+}
+
+// TestCachedGraphImmutability guards the contract the cache tier is
+// built on: a graph is frozen once Build returns, and exercising every
+// read-only accessor must not perturb node values or edges.
+func TestCachedGraphImmutability(t *testing.T) {
+	ResetCache()
+	g, err := Cached(model.GPT2Small().WithLayers(4), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := snapshot(g)
+	edges := adjacency(g)
+
+	// Drive every exported read path a consumer uses.
+	if _, err := g.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.TotalFLOPs()
+	g.TotalParamBytes()
+	g.TotalTraffic()
+	g.MaxLayer()
+	for l := -1; l <= g.MaxLayer(); l++ {
+		g.NodesInLayer(l)
+	}
+	g.Filter(func(n *Node) bool { return n.Kind == OpMatMul })
+	for _, n := range g.Nodes() {
+		n.Traffic()
+		g.Node(n.ID)
+	}
+
+	if !reflect.DeepEqual(nodes, snapshot(g)) {
+		t.Error("read-only accessors mutated node state")
+	}
+	if !reflect.DeepEqual(edges, adjacency(g)) {
+		t.Error("read-only accessors mutated edge state")
+	}
+
+	// A second Cached call must observe the identical frozen graph.
+	g2, err := Cached(model.GPT2Small().WithLayers(4), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g || !reflect.DeepEqual(nodes, snapshot(g2)) {
+		t.Error("cached graph drifted between retrievals")
+	}
+}
+
+func TestLayerPrefix(t *testing.T) {
+	for _, tc := range []struct {
+		l    int
+		want string
+	}{{0, "L0/"}, {12, "L12/"}, {127, "L127/"}, {128, "L128/"}, {4096, "L4096/"}} {
+		if got := LayerPrefix(tc.l); got != tc.want {
+			t.Errorf("LayerPrefix(%d) = %q, want %q", tc.l, got, tc.want)
+		}
+	}
+}

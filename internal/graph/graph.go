@@ -8,6 +8,16 @@
 // granularity, SambaNova partitions it into sections, and Graphcore
 // groups layers into pipeline stages. The partitioners in
 // internal/sched operate on this IR.
+//
+// # Immutability contract
+//
+// A Graph is mutable only while it is being constructed. Once Build (or
+// Cached) returns, the graph — its node list, every Node's fields, and
+// the adjacency maps — is frozen: all exported Graph methods are
+// read-only, and consumers must never call AddNode, AddEdge or MustEdge
+// on a graph they did not construct themselves. The Cached build tier
+// shares one *Graph across platforms, compile modes and concurrent
+// sweep workers on the strength of this contract.
 package graph
 
 import (
@@ -111,6 +121,18 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{succ: map[int][]int{}, pred: map[int][]int{}}
+}
+
+// NewSized returns an empty graph preallocated for about n nodes.
+func NewSized(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		nodes: make([]*Node, 0, n),
+		succ:  make(map[int][]int, n),
+		pred:  make(map[int][]int, n),
+	}
 }
 
 // AddNode appends a node, assigning its ID, and returns it.

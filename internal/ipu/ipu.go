@@ -12,6 +12,7 @@ package ipu
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"dabench/internal/platform"
 	"dabench/internal/precision"
@@ -217,7 +218,7 @@ func (s *Sim) Compile(spec platform.TrainSpec) (*platform.CompileReport, error) 
 	}
 	perLayerSec := layerFlopsPerSample / (Peak16 * eff * pf)
 
-	var tasks []platform.Task
+	tasks := make([]platform.Task, 0, len(layers)+1)
 	tiles := float64(TilesPerIPU)
 	if !single {
 		tasks = append(tasks, platform.Task{
@@ -234,7 +235,7 @@ func (s *Sim) Compile(spec platform.TrainSpec) (*platform.CompileReport, error) 
 			rt = float64(l)*perLayerSec + sharedFlopsPerSample/(Peak16*eff*pf)
 		}
 		tasks = append(tasks, platform.Task{
-			Name: fmt.Sprintf("ipu%d/decoder[%d layers]", i+1, l), Kind: "stage",
+			Name: "ipu" + strconv.Itoa(i+1) + "/decoder[" + strconv.Itoa(l) + " layers]", Kind: "stage",
 			Units:       map[platform.Resource]float64{platform.ResTile: tiles * 0.92},
 			Runtime:     units.Seconds(rt),
 			Throughput:  1 / rt,

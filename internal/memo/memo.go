@@ -1,0 +1,80 @@
+// Package memo provides the generic singleflight memoization cell
+// behind every cache tier (graph build, compile, run-report): one
+// lock/map/done-channel implementation with hit/miss counters, so
+// pattern-level fixes land once instead of per tier.
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"dabench/internal/cachestats"
+)
+
+// ErrPanicked is the cached outcome of a memoized call that panicked:
+// the panic propagates to the caller that ran the function, while
+// waiters (and all later callers of the key) receive this error
+// instead of blocking forever on a done channel that never closes.
+var ErrPanicked = errors.New("memo: memoized call panicked")
+
+type entry[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+// Cache is a concurrency-safe memoization table with singleflight
+// semantics: the first caller of a key runs the function; concurrent
+// callers of an in-flight key block until it finishes and then share
+// the outcome. Both successes and errors are cached — callers must
+// only memoize deterministic functions.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// New returns an empty cache.
+func New[K comparable, V any]() *Cache[K, V] {
+	return &Cache[K, V]{entries: map[K]*entry[V]{}}
+}
+
+// Do returns the memoized outcome for key, computing it with fn on
+// first call. The entry's fields are written before its done channel
+// closes and read only after receiving from it, so sharing the value
+// across goroutines is race-free.
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.val, e.err
+	}
+	// Pre-set the panic outcome: if fn panics the assignment below
+	// never runs, the deferred close still releases waiters, and the
+	// key stays poisoned with ErrPanicked rather than wedged.
+	e := &entry[V]{done: make(chan struct{}), err: ErrPanicked}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	defer close(e.done)
+	e.val, e.err = fn()
+	return e.val, e.err
+}
+
+// Stats returns the current hit/miss counters.
+func (c *Cache[K, V]) Stats() cachestats.Stats {
+	return cachestats.Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.entries = map[K]*entry[V]{}
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

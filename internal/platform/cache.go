@@ -1,8 +1,8 @@
 package platform
 
 import (
-	"sync"
-	"sync/atomic"
+	"dabench/internal/cachestats"
+	"dabench/internal/memo"
 )
 
 // Imbalancer is implemented by platforms with a native operator-level
@@ -12,72 +12,63 @@ type Imbalancer interface {
 	LoadImbalance(*CompileReport) (float64, error)
 }
 
-// CacheStats is a snapshot of a compile cache's hit/miss counters.
-type CacheStats struct {
-	Hits   int64
-	Misses int64
-}
+// CacheStats is a snapshot of a cache's hit/miss counters (the shared
+// cachestats.Stats — one type across the graph/compile/run tiers).
+type CacheStats = cachestats.Stats
 
-// Sub returns the counter deltas since an earlier snapshot.
-func (s CacheStats) Sub(earlier CacheStats) CacheStats {
-	return CacheStats{Hits: s.Hits - earlier.Hits, Misses: s.Misses - earlier.Misses}
-}
-
-// Add merges two snapshots.
-func (s CacheStats) Add(o CacheStats) CacheStats {
-	return CacheStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
-}
-
-// HitRate returns hits over total lookups (0 when no lookups).
-func (s CacheStats) HitRate() float64 {
-	if total := s.Hits + s.Misses; total > 0 {
-		return float64(s.Hits) / float64(total)
-	}
-	return 0
-}
-
-// CachedPlatform is a Platform whose Compile is memoized.
+// CachedPlatform is a Platform whose Compile and Run are memoized.
 type CachedPlatform interface {
 	Platform
-	// CacheStats returns the current hit/miss counters.
+	// CacheStats returns the compile cache's hit/miss counters.
 	CacheStats() CacheStats
-	// ResetCache drops all cached reports and zeroes the counters.
+	// RunCacheStats returns the run-report cache's hit/miss counters.
+	RunCacheStats() CacheStats
+	// ResetCache drops all cached reports (compile and run) and zeroes
+	// the counters.
 	ResetCache()
 	// Unwrap returns the underlying platform.
 	Unwrap() Platform
 }
 
-// Cached wraps p with a concurrency-safe memoizing Compile: identical
-// TrainSpecs (by TrainSpec.Key) compile once; concurrent callers of an
-// in-flight key block until the single underlying compile finishes and
-// then share its report (singleflight). Both successful reports and
-// compile errors are cached — the simulators are deterministic,
-// stateless pure functions of the spec, so a cached outcome is
-// indistinguishable from a fresh one. Cached reports are shared, not
-// copied: callers must treat a CompileReport as immutable (Run already
-// does).
+// Cached wraps p with two concurrency-safe memoization tiers (both
+// memo.Cache singleflight cells).
+//
+// Compile: identical TrainSpecs (by TrainSpec.Key) compile once;
+// concurrent callers of an in-flight key block until the single
+// underlying compile finishes and then share its report. Both
+// successful reports and compile errors are cached — the simulators
+// are deterministic, stateless pure functions of the spec, so a cached
+// outcome is indistinguishable from a fresh one. Cached reports are
+// shared, not copied: callers must treat a CompileReport as immutable
+// (Run already does).
+//
+// Run: Run is a deterministic pure function of the compile report, and
+// the compile cache hands every caller of an identical spec the same
+// *CompileReport — so the run cache keys on pointer identity, which is
+// both allocation-free and exactly as discriminating as a value key for
+// reports that came out of this wrapper. Reports compiled elsewhere
+// simply occupy their own cache slot; correctness only needs the shared
+// immutability contract. Run errors are cached alongside successes for
+// the same determinism reason.
 //
 // If p natively computes load imbalance (Imbalancer), the wrapper
 // forwards it so core.Profile keeps using the operator-level path.
 func Cached(p Platform) CachedPlatform {
-	c := &cached{p: p, entries: map[string]*cacheEntry{}}
+	c := &cached{
+		p:       p,
+		compile: memo.New[string, *CompileReport](),
+		run:     memo.New[*CompileReport, *RunReport](),
+	}
 	if li, ok := p.(Imbalancer); ok {
 		return &cachedImbalancer{cached: c, li: li}
 	}
 	return c
 }
 
-type cacheEntry struct {
-	done chan struct{} // closed when cr/err are set
-	cr   *CompileReport
-	err  error
-}
-
 type cached struct {
-	p            Platform
-	mu           sync.Mutex
-	entries      map[string]*cacheEntry
-	hits, misses atomic.Int64
+	p       Platform
+	compile *memo.Cache[string, *CompileReport]
+	run     *memo.Cache[*CompileReport, *RunReport]
 }
 
 func (c *cached) Name() string       { return c.p.Name() }
@@ -85,35 +76,23 @@ func (c *cached) HardwareSpec() Spec { return c.p.HardwareSpec() }
 func (c *cached) Unwrap() Platform   { return c.p }
 
 func (c *cached) Compile(spec TrainSpec) (*CompileReport, error) {
-	key := spec.Key()
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
-		c.hits.Add(1)
-		<-e.done
-		return e.cr, e.err
-	}
-	e := &cacheEntry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.mu.Unlock()
-	c.misses.Add(1)
-	e.cr, e.err = c.p.Compile(spec)
-	close(e.done)
-	return e.cr, e.err
+	return c.compile.Do(spec.Key(), func() (*CompileReport, error) {
+		return c.p.Compile(spec)
+	})
 }
 
-func (c *cached) Run(cr *CompileReport) (*RunReport, error) { return c.p.Run(cr) }
-
-func (c *cached) CacheStats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+func (c *cached) Run(cr *CompileReport) (*RunReport, error) {
+	return c.run.Do(cr, func() (*RunReport, error) {
+		return c.p.Run(cr)
+	})
 }
+
+func (c *cached) CacheStats() CacheStats    { return c.compile.Stats() }
+func (c *cached) RunCacheStats() CacheStats { return c.run.Stats() }
 
 func (c *cached) ResetCache() {
-	c.mu.Lock()
-	c.entries = map[string]*cacheEntry{}
-	c.mu.Unlock()
-	c.hits.Store(0)
-	c.misses.Store(0)
+	c.compile.Reset()
+	c.run.Reset()
 }
 
 // cachedImbalancer adds the native-LI forwarding for platforms that

@@ -9,9 +9,11 @@ import (
 	"dabench/internal/precision"
 )
 
-// countingPlatform is a deterministic fake that counts Compile calls.
+// countingPlatform is a deterministic fake that counts Compile and Run
+// calls.
 type countingPlatform struct {
 	compiles atomic.Int64
+	runs     atomic.Int64
 	fail     bool
 }
 
@@ -27,6 +29,7 @@ func (p *countingPlatform) Compile(spec TrainSpec) (*CompileReport, error) {
 }
 
 func (p *countingPlatform) Run(cr *CompileReport) (*RunReport, error) {
+	p.runs.Add(1)
 	return &RunReport{Compile: cr, TokensPerSec: 1}, nil
 }
 
@@ -111,18 +114,111 @@ func TestCachedSingleflight(t *testing.T) {
 func TestCachedReset(t *testing.T) {
 	under := &countingPlatform{}
 	c := Cached(under)
-	if _, err := c.Compile(testSpec(8)); err != nil {
+	cr, err := c.Compile(testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(cr); err != nil {
 		t.Fatal(err)
 	}
 	c.ResetCache()
 	if s := c.CacheStats(); s != (CacheStats{}) {
 		t.Errorf("stats after reset = %+v", s)
 	}
+	if s := c.RunCacheStats(); s != (CacheStats{}) {
+		t.Errorf("run stats after reset = %+v", s)
+	}
 	if _, err := c.Compile(testSpec(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(cr); err != nil {
 		t.Fatal(err)
 	}
 	if n := under.compiles.Load(); n != 2 {
 		t.Errorf("reset cache still deduped: %d compiles", n)
+	}
+	if n := under.runs.Load(); n != 2 {
+		t.Errorf("reset run cache still deduped: %d runs", n)
+	}
+}
+
+// TestCachedRunMemoization covers the run-report tier: Run is a
+// deterministic pure function of its compile report, and the compile
+// cache shares report pointers, so pointer identity is a sound key.
+func TestCachedRunMemoization(t *testing.T) {
+	under := &countingPlatform{}
+	c := Cached(under)
+	cr1, err := c.Compile(testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A compile-cache hit hands back the same pointer, so its runs hit.
+	cr2, err := c.Compile(testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr1, err := c.Run(cr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr2, err := c.Run(cr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr1 != rr2 {
+		t.Error("identical compile reports must share the memoized run report")
+	}
+	if n := under.runs.Load(); n != 1 {
+		t.Errorf("underlying ran %d times, want 1", n)
+	}
+	if s := c.RunCacheStats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("run stats = %+v, want 1 hit / 1 miss", s)
+	}
+
+	// A distinct report occupies its own slot.
+	cr3, err := c.Compile(testSpec(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(cr3); err != nil {
+		t.Fatal(err)
+	}
+	if n := under.runs.Load(); n != 2 {
+		t.Errorf("distinct report reused a cached run: %d runs", n)
+	}
+	// Compile stats are untouched by Run traffic.
+	if s := c.CacheStats(); s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("compile stats polluted by runs: %+v", s)
+	}
+}
+
+func TestCachedRunSingleflight(t *testing.T) {
+	under := &countingPlatform{}
+	c := Cached(under)
+	cr, err := c.Compile(testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := c.Run(cr); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := under.runs.Load(); n != 1 {
+		t.Errorf("concurrent identical runs executed %d times, want 1", n)
+	}
+	if s := c.RunCacheStats(); s.Misses != 1 || s.Hits != callers-1 {
+		t.Errorf("run stats = %+v, want %d hits / 1 miss", s, callers-1)
 	}
 }
 

@@ -1,9 +1,6 @@
 package platform
 
-import (
-	"fmt"
-	"strings"
-)
+import "strconv"
 
 // Key returns a canonical fingerprint of the spec: two specs have equal
 // keys if and only if every field a simulator can observe is equal —
@@ -11,24 +8,64 @@ import (
 // complete Parallelism including the LayerAssignment pinning and
 // compile mode. The simulators are deterministic pure functions of the
 // spec, so Key is a sound memoization key for Compile.
+//
+// Key is on the compile hot path (computed on every lookup, hit or
+// miss), so it is assembled with strconv appends into one buffer
+// rather than fmt formatting.
 func (s TrainSpec) Key() string {
-	var b strings.Builder
 	m := s.Model
-	// Name is the only free-form string in the spec; %q-escape it so a
-	// crafted name cannot forge another spec's delimiter sequence.
-	fmt.Fprintf(&b, "m=%q;fam=%d;h=%d;l=%d;nh=%d;kv=%d;ffn=%d;v=%d;ms=%d;tied=%t;pos=%t;norm=%d;act=%d",
-		m.Name, m.Family, m.HiddenSize, m.NumLayers, m.NumHeads, m.KVHeads,
-		m.FFNHidden, m.VocabSize, m.MaxSeqLen, m.TiedEmbeddings, m.LearnedPos,
-		m.Norm, m.Activation)
-	fmt.Fprintf(&b, "|b=%d;s=%d;f=%d", s.Batch, s.Seq, s.Precision)
+	b := make([]byte, 0, 192)
+	// Name is the only free-form string in the spec; quote-escape it so
+	// a crafted name cannot forge another spec's delimiter sequence.
+	b = append(b, "m="...)
+	b = strconv.AppendQuote(b, m.Name)
+	b = append(b, ";fam="...)
+	b = strconv.AppendInt(b, int64(m.Family), 10)
+	b = append(b, ";h="...)
+	b = strconv.AppendInt(b, int64(m.HiddenSize), 10)
+	b = append(b, ";l="...)
+	b = strconv.AppendInt(b, int64(m.NumLayers), 10)
+	b = append(b, ";nh="...)
+	b = strconv.AppendInt(b, int64(m.NumHeads), 10)
+	b = append(b, ";kv="...)
+	b = strconv.AppendInt(b, int64(m.KVHeads), 10)
+	b = append(b, ";ffn="...)
+	b = strconv.AppendInt(b, int64(m.FFNHidden), 10)
+	b = append(b, ";v="...)
+	b = strconv.AppendInt(b, int64(m.VocabSize), 10)
+	b = append(b, ";ms="...)
+	b = strconv.AppendInt(b, int64(m.MaxSeqLen), 10)
+	b = append(b, ";tied="...)
+	b = strconv.AppendBool(b, m.TiedEmbeddings)
+	b = append(b, ";pos="...)
+	b = strconv.AppendBool(b, m.LearnedPos)
+	b = append(b, ";norm="...)
+	b = strconv.AppendInt(b, int64(m.Norm), 10)
+	b = append(b, ";act="...)
+	b = strconv.AppendInt(b, int64(m.Activation), 10)
+	b = append(b, "|b="...)
+	b = strconv.AppendInt(b, int64(s.Batch), 10)
+	b = append(b, ";s="...)
+	b = strconv.AppendInt(b, int64(s.Seq), 10)
+	b = append(b, ";f="...)
+	b = strconv.AppendInt(b, int64(s.Precision), 10)
 	p := s.Par
-	fmt.Fprintf(&b, "|dp=%d;tp=%d;pp=%d;ws=%t;mode=%d;la=",
-		p.DataParallel, p.TensorParallel, p.PipelineParallel, p.WeightStreaming, p.Mode)
+	b = append(b, "|dp="...)
+	b = strconv.AppendInt(b, int64(p.DataParallel), 10)
+	b = append(b, ";tp="...)
+	b = strconv.AppendInt(b, int64(p.TensorParallel), 10)
+	b = append(b, ";pp="...)
+	b = strconv.AppendInt(b, int64(p.PipelineParallel), 10)
+	b = append(b, ";ws="...)
+	b = strconv.AppendBool(b, p.WeightStreaming)
+	b = append(b, ";mode="...)
+	b = strconv.AppendInt(b, int64(p.Mode), 10)
+	b = append(b, ";la="...)
 	for i, l := range p.LayerAssignment {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", l)
+		b = strconv.AppendInt(b, int64(l), 10)
 	}
-	return b.String()
+	return string(b)
 }

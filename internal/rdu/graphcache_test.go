@@ -1,0 +1,64 @@
+package rdu
+
+import (
+	"reflect"
+	"testing"
+
+	"dabench/internal/graph"
+	"dabench/internal/platform"
+)
+
+// TestCompileSharesGraphAcrossModes asserts the cross-spec payoff the
+// graph cache exists for: O0 and O1 compiles of the same workload (and
+// any TP degree) lower the model once.
+func TestCompileSharesGraphAcrossModes(t *testing.T) {
+	graph.ResetCache()
+	s := New()
+	before := graph.Stats()
+	if _, err := s.Compile(gptSpec(8, platform.ModeO0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compile(gptSpec(8, platform.ModeO1)); err != nil {
+		t.Fatal(err)
+	}
+	d := graph.Stats().Sub(before)
+	if d.Misses != 1 || d.Hits != 1 {
+		t.Errorf("graph cache deltas = %+v, want O1 to reuse O0's build (1 miss / 1 hit)", d)
+	}
+}
+
+// TestCompileLeavesCachedGraphUntouched is the consumer-side guard of
+// the graph immutability contract: section building over a shared
+// cached graph must not perturb it, or a later compile of the same
+// workload would read a corrupted lowering.
+func TestCompileLeavesCachedGraphUntouched(t *testing.T) {
+	graph.ResetCache()
+	g, err := buildGraph(gptSpec(8, platform.ModeO0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]graph.Node, 0, g.Len())
+	for _, n := range g.Nodes() {
+		before = append(before, *n)
+	}
+
+	crA := mustCompile(t, gptSpec(8, platform.ModeO0))
+	crB := mustCompile(t, gptSpec(8, platform.ModeO1))
+
+	after := make([]graph.Node, 0, g.Len())
+	for _, n := range g.Nodes() {
+		after = append(after, *n)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("section builders mutated the shared cached graph")
+	}
+
+	// And a re-compile over the (still cached) graph must reproduce the
+	// original reports exactly.
+	if !reflect.DeepEqual(crA, mustCompile(t, gptSpec(8, platform.ModeO0))) {
+		t.Error("O0 re-compile over the cached graph diverged")
+	}
+	if !reflect.DeepEqual(crB, mustCompile(t, gptSpec(8, platform.ModeO1))) {
+		t.Error("O1 re-compile over the cached graph diverged")
+	}
+}

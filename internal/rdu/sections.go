@@ -1,9 +1,9 @@
 package rdu
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"dabench/internal/graph"
@@ -77,9 +77,13 @@ func templateKey(name string) string {
 	return name
 }
 
-// buildGraph lowers the spec's model to its training graph.
+// buildGraph lowers the spec's model to its training graph through the
+// process-wide build cache: the graph depends only on (model, batch,
+// seq, precision), so the O0/O1/O3 mode grids and the TP ladders all
+// share one lowering. The returned graph is immutable — section
+// builders only read it.
 func buildGraph(spec platform.TrainSpec) (*graph.Graph, error) {
-	return graph.Build(spec.Model, graph.BuildOptions{
+	return graph.Cached(spec.Model, graph.BuildOptions{
 		Batch: spec.Batch, Seq: spec.Seq, Precision: spec.Precision, Backward: true,
 	})
 }
@@ -113,8 +117,8 @@ func buildO1(spec platform.TrainSpec) ([]section, error) {
 		ops                        []metrics.TaskSample
 		count                      int
 	}
-	groups := map[string]*agg{}
-	order := []string{}
+	groups := make(map[string]*agg, 16)
+	order := make([]string, 0, 16)
 	add := func(key, kind string, n *graph.Node, fused bool) {
 		a, ok := groups[key]
 		if !ok {
@@ -150,7 +154,7 @@ func buildO1(spec platform.TrainSpec) ([]section, error) {
 	for _, n := range g.Nodes() {
 		if n.Layer >= 0 {
 			mod := moduleOf(templateKey(n.Name))
-			key := fmt.Sprintf("%s.%s", mod, n.Phase)
+			key := mod + "." + n.Phase.String()
 			add(key, moduleKind(mod), n, true)
 			continue
 		}
@@ -258,16 +262,14 @@ func dedupeOps(ops []metrics.TaskSample) []metrics.TaskSample {
 // mergedSections implements O0: one section per operator template.
 func mergedSections(g *graph.Graph, spec platform.TrainSpec, fusion float64) []section {
 	h := spec.Model.HiddenSize
-	L := spec.Model.NumLayers
-	_ = L
 	type agg struct {
 		node    *graph.Node
 		flops   float64
 		traffic float64
 		inv     int
 	}
-	groups := map[string]*agg{}
-	order := []string{}
+	groups := make(map[string]*agg, 48)
+	order := make([]string, 0, 48)
 	for _, n := range g.Nodes() {
 		key := templateKey(n.Name) + "." + n.Phase.String()
 		a, ok := groups[key]
@@ -280,7 +282,7 @@ func mergedSections(g *graph.Graph, spec platform.TrainSpec, fusion float64) []s
 		a.traffic += float64(n.Traffic())
 		a.inv++
 	}
-	var secs []section
+	secs := make([]section, 0, len(order))
 	for _, key := range order {
 		a := groups[key]
 		pc := opPCUs(a.node.Kind, h) * fusion
@@ -334,7 +336,7 @@ func shardHead(spec platform.TrainSpec, headNodes []*graph.Node) []section {
 	secs := make([]section, 0, nsec)
 	for i := 0; i < nsec; i++ {
 		secs = append(secs, section{
-			name: fmt.Sprintf("lm-head.shardsec%d", i), kind: "shard",
+			name: "lm-head.shardsec" + strconv.Itoa(i), kind: "shard",
 			pcus: pcu, pmus: pmu,
 			flops: flops / float64(nsec), ddrBytes: traffic / float64(nsec),
 			invocations: 1, ops: ops,
@@ -374,7 +376,7 @@ func buildO3(spec platform.TrainSpec) ([]section, error) {
 	spread := math.Min(o3SpreadMax, o3SpreadPerLayer*float64(L))*spreadHSRef/(spreadHSRef+float64(h)) +
 		o3HSSpread*math.Max(0, o3HSSpreadRef-float64(h))/o3HSSpreadRef
 
-	var secs []section
+	secs := make([]section, 0, L*2+3)
 	mk := func(i, n int, phase string, util, flopsTotal, bytesTotal float64) section {
 		// Deterministic cross-decoder allocation spread (compiler
 		// balances deeper stacks worse).
@@ -384,11 +386,12 @@ func buildO3(spec platform.TrainSpec) ([]section, error) {
 		pmu := clampF(pcu*0.9+pmuMatmulBase, 16, maxSectionPCUs)
 		fl := flopsTotal * float64(L) / float64(n)
 		by := (bytesTotal*weightPasses/3 + actBytes) * float64(L) / float64(n)
+		name := "decoder." + phase + "." + strconv.Itoa(i)
 		return section{
-			name: fmt.Sprintf("decoder.%s.%d", phase, i), kind: "decoder",
+			name: name, kind: "decoder",
 			pcus: pcu, pmus: pmu, flops: fl, ddrBytes: by, invocations: 1,
 			ops: []metrics.TaskSample{{
-				Name:       fmt.Sprintf("decoder.%s.%d", phase, i),
+				Name:       name,
 				Resources:  pcu,
 				Throughput: pcu * ratePerPCU * sectionEff * precFactor(spec.Precision) / fl,
 			}},

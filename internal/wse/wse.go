@@ -3,7 +3,9 @@ package wse
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"dabench/internal/graph"
 	"dabench/internal/model"
 	"dabench/internal/platform"
 	"dabench/internal/units"
@@ -78,9 +80,10 @@ func buildKernels(cfg model.Config, seq int) []kernel {
 	embedIO := (2*h + 4) * math.Pow(h/768.0, 0.8)
 	ks = append(ks, kernel{name: "embedding", workPerToken: embedWork, ioBytesPerToken: embedIO})
 	for l := 0; l < cfg.NumLayers; l++ {
+		prefix := graph.LayerPrefix(l)
 		ks = append(ks,
-			kernel{name: fmt.Sprintf("L%d/attention", l), attention: true, decoder: true, workPerToken: attnWork},
-			kernel{name: fmt.Sprintf("L%d/ffn", l), decoder: true, workPerToken: ffnWork},
+			kernel{name: prefix + "attention", attention: true, decoder: true, workPerToken: attnWork},
+			kernel{name: prefix + "ffn", decoder: true, workPerToken: ffnWork},
 		)
 	}
 	// The head's scatter fan-out shrinks rapidly for narrower models
@@ -92,8 +95,10 @@ func buildKernels(cfg model.Config, seq int) []kernel {
 }
 
 // refWork is the reference attention kernel's work (GPT-2 HS 768,
-// S 1024), the unit of the allocation curve.
-func refWork() float64 {
+// S 1024), the unit of the allocation curve. The reference kernel set
+// is a constant of the model, so it is lowered once per process
+// (Compile used to rebuild the full GPT-2 set on every call).
+var refWork = sync.OnceValue(func() float64 {
 	ref := buildKernels(model.GPT2Small(), 1024)
 	for _, k := range ref {
 		if k.attention {
@@ -101,7 +106,7 @@ func refWork() float64 {
 		}
 	}
 	panic("wse: reference kernel set has no attention kernel")
-}
+})
 
 // demand returns the optimal (unconstrained) PE allocation for a
 // kernel: work-proportional with diminishing returns, overridden by
