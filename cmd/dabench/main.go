@@ -6,6 +6,7 @@
 //
 //	dabench experiments [-parallel N] [id ...]   reproduce paper tables/figures (default: all)
 //	dabench profile -platform wse -model gpt2-small [-layers N] [-batch B]
+//	dabench analyze [-csv] trace.jsonl           summarize a saved -trace record stream
 //	dabench list                                 list platforms, models and experiment IDs
 //
 // Add -csv to print CSV instead of aligned text. Experiment sweeps fan
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,13 +54,15 @@ func run(args []string) error {
 		return runExperiments(args[1:])
 	case "profile":
 		return runProfile(args[1:])
+	case "analyze":
+		return runAnalyze(args[1:])
 	case "list":
 		return runList()
 	case "-h", "--help", "help":
-		fmt.Println("usage: dabench {experiments [id ...] | profile [flags] | list}")
+		fmt.Println("usage: dabench {experiments [id ...] | profile [flags] | analyze [-csv] file | list}")
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (try: experiments, profile, list)", args[0])
+		return fmt.Errorf("unknown command %q (try: experiments, profile, analyze, list)", args[0])
 	}
 }
 
@@ -73,8 +77,13 @@ func runExperiments(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *parallel < 1 {
-		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	if *parallel < 1 || *parallel > sweep.MaxWorkers {
+		return fmt.Errorf("-parallel must be in [1, %d], got %d", sweep.MaxWorkers, *parallel)
+	}
+	if *traceOut != "" {
+		if fi, err := os.Stat(*traceOut); err == nil && fi.IsDir() {
+			return fmt.Errorf("-trace %q is a directory, want a file path", *traceOut)
+		}
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -123,7 +132,7 @@ func runExperiments(args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (valid: %s)", id, strings.Join(experiments.IDs(), ", "))
 		}
-		res, err := runner()
+		res, err := runner(context.Background())
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -134,16 +143,11 @@ func runExperiments(args []string) error {
 				s.Hits, s.Hits+s.Misses, 100*s.HitRate(),
 				r.Hits, r.Hits+r.Misses, g.Hits, g.Hits+g.Misses)
 		}
-		for _, t := range res.Tables {
-			var werr error
-			if *csv {
-				werr = t.WriteCSV(os.Stdout)
-			} else {
-				werr = t.WriteText(os.Stdout)
-			}
-			if werr != nil {
-				return werr
-			}
+		// Render is shared with the HTTP server's /v1/experiments
+		// endpoint — the same code path is what keeps the two outputs
+		// byte-identical (CI diffs them).
+		if err := res.Render(os.Stdout, *csv); err != nil {
+			return err
 		}
 		if tw != nil {
 			for _, rec := range res.Trace {
@@ -213,6 +217,43 @@ func runProfile(args []string) error {
 	tbl := report.New("Insights", "#", "Finding")
 	for i, ins := range prof.Insights {
 		tbl.Add(fmt.Sprint(i+1), ins)
+	}
+	return tbl.WriteText(os.Stdout)
+}
+
+// runAnalyze summarizes a JSONL record stream saved with
+// `experiments -trace` (the library's trace.Analyze, previously
+// reachable only programmatically).
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dabench analyze [-csv] trace.jsonl (got %d args)", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: no trace records", fs.Arg(0))
+	}
+	sums := trace.Analyze(recs)
+	tbl := report.New(fmt.Sprintf("Trace analysis — %d records, %d groups", len(recs), len(sums)),
+		"Experiment", "Platform", "Metric", "Count", "Failures", "Min", "Mean", "Max")
+	for _, s := range sums {
+		tbl.Add(s.Experiment, s.Platform, s.Metric, fmt.Sprint(s.Count), fmt.Sprint(s.Failures),
+			report.F(s.Min), report.F(s.Mean), report.F(s.Max))
+	}
+	if *csv {
+		return tbl.WriteCSV(os.Stdout)
 	}
 	return tbl.WriteText(os.Stdout)
 }

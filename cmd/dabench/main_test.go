@@ -75,6 +75,56 @@ func TestRunExperimentsProfiles(t *testing.T) {
 	}
 }
 
+func TestRunExperimentsFlagValidation(t *testing.T) {
+	if err := run([]string{"experiments", "-parallel", "0", "table1"}); err == nil {
+		t.Error("-parallel 0 accepted")
+	}
+	if err := run([]string{"experiments", "-parallel", "100000", "table1"}); err == nil {
+		t.Error("-parallel above sweep.MaxWorkers accepted")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"experiments", "-trace", dir, "table1"}); err == nil || !strings.Contains(err.Error(), "directory") {
+		t.Errorf("-trace pointing at a directory not rejected clearly: %v", err)
+	}
+}
+
+func TestRunAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+
+	// Produce a real trace via the experiments pipeline, then analyze it.
+	if err := run([]string{"experiments", "-q", "-trace", path, "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", "-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"analyze"}); err == nil {
+		t.Error("analyze without a file accepted")
+	}
+	if err := run([]string{"analyze", filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Error("analyze of a missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", empty}); err == nil || !strings.Contains(err.Error(), "no trace records") {
+		t.Errorf("empty trace not rejected clearly: %v", err)
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze", bad}); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}
+
 func TestHelpAndDefault(t *testing.T) {
 	if err := run([]string{"help"}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,109 @@
+// Command dabenchd serves the DABench-LLM pipeline as a long-lived
+// HTTP JSON API. Unlike the one-shot dabench CLI, the daemon's
+// graph/compile/run caches live as long as the process: identical
+// specs coalesce across requests and warm experiment renders cost
+// cache lookups, not simulation.
+//
+// Usage:
+//
+//	dabenchd [-addr :8080] [-parallel N] [-max-inflight M]
+//	         [-timeout 2m] [-drain-timeout 15s] [-max-sweep-points 1024]
+//
+// On SIGINT/SIGTERM the server drains gracefully: the listener closes,
+// in-flight requests run to completion (bounded by -drain-timeout),
+// then the process exits. See API.md for the endpoints.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dabench/internal/server"
+	"dabench/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dabenchd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dabenchd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size (1 = serial)")
+	maxInflight := fs.Int("max-inflight", 0, "admitted concurrent heavy requests (0 = 2x -parallel)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-request deadline")
+	drain := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound after SIGTERM")
+	maxPoints := fs.Int("max-sweep-points", 1024, "hard cap on one /v1/sweep cross product")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *parallel < 1 || *parallel > sweep.MaxWorkers {
+		return fmt.Errorf("-parallel must be in [1, %d], got %d", sweep.MaxWorkers, *parallel)
+	}
+	if *maxInflight < 0 {
+		return fmt.Errorf("-max-inflight must be >= 0, got %d", *maxInflight)
+	}
+	if *timeout <= 0 || *drain <= 0 {
+		return errors.New("-timeout and -drain-timeout must be positive")
+	}
+	if *maxPoints < 1 {
+		return fmt.Errorf("-max-sweep-points must be >= 1, got %d", *maxPoints)
+	}
+
+	sweep.SetDefaultWorkers(*parallel)
+	inflight := *maxInflight
+	if inflight == 0 {
+		inflight = 2 * *parallel
+	}
+	h := server.New(server.Config{
+		MaxInFlight:    inflight,
+		RequestTimeout: *timeout,
+		MaxSweepPoints: *maxPoints,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "dabenchd: listening on %s (%d workers, %d in-flight slots)\n",
+		ln.Addr(), *parallel, inflight)
+
+	select {
+	case err := <-errCh:
+		return err // Serve never returns nil
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Fprintln(os.Stderr, "dabenchd: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

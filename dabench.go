@@ -28,6 +28,8 @@
 package dabench
 
 import (
+	"context"
+
 	"dabench/internal/core"
 	"dabench/internal/experiments"
 	"dabench/internal/gpu"
@@ -123,12 +125,24 @@ func Profile(p Platform, spec TrainSpec) (*Tier1Result, error) {
 
 // Scalability runs the Tier-2 multi-chip analysis.
 func Scalability(p Platform, base TrainSpec, configs []Parallelism, labels []string) ([]ScalePoint, error) {
-	return core.Scalability(p, base, configs, labels)
+	return core.Scalability(context.Background(), p, base, configs, labels)
+}
+
+// ScalabilityContext is Scalability with a cancellation/deadline
+// context threaded into the sweep pool (the serving path uses it).
+func ScalabilityContext(ctx context.Context, p Platform, base TrainSpec, configs []Parallelism, labels []string) ([]ScalePoint, error) {
+	return core.Scalability(ctx, p, base, configs, labels)
 }
 
 // Deployment runs the Tier-2 deployment optimizer.
 func Deployment(p Platform, base TrainSpec, batches []int, formats []Format) (*DeploymentReport, error) {
-	return core.Deployment(p, base, batches, formats)
+	return core.Deployment(context.Background(), p, base, batches, formats)
+}
+
+// DeploymentContext is Deployment with a cancellation/deadline context
+// threaded into the sweep pool.
+func DeploymentContext(ctx context.Context, p Platform, base TrainSpec, batches []int, formats []Format) (*DeploymentReport, error) {
+	return core.Deployment(ctx, p, base, batches, formats)
 }
 
 // ExperimentIDs lists the reproducible paper artifacts in paper order.
@@ -137,11 +151,18 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // RunExperiment regenerates one paper table/figure by ID (e.g.
 // "table1", "figure9").
 func RunExperiment(id string) (*ExperimentResult, error) {
+	return RunExperimentContext(context.Background(), id)
+}
+
+// RunExperimentContext is RunExperiment with a cancellation/deadline
+// context threaded into every sweep the runner fans out — the dabenchd
+// server's per-request timeouts ride on this.
+func RunExperimentContext(ctx context.Context, id string) (*ExperimentResult, error) {
 	r, ok := experiments.All()[id]
 	if !ok {
 		return nil, &platform.CompileError{Platform: "dabench", Reason: "unknown experiment " + id}
 	}
-	return r()
+	return r(ctx)
 }
 
 // IsCompileFailure reports whether err is a placement failure (the
@@ -158,7 +179,8 @@ func Cached(p Platform) CachedPlatform { return platform.Cached(p) }
 // SetSweepWorkers sets the process-wide sweep pool size used by the
 // Tier-2 analyses and experiment runners (the CLI's -parallel flag).
 // n = 1 forces the serial path; n <= 0 restores the automatic default
-// of runtime.GOMAXPROCS(0).
+// of runtime.GOMAXPROCS(0); n > sweep.MaxWorkers (4096) is clamped —
+// the pool is CPU-bound, so huge values buy goroutines, not speed.
 func SetSweepWorkers(n int) { sweep.SetDefaultWorkers(n) }
 
 // SweepWorkers returns the effective sweep pool size.

@@ -1,10 +1,41 @@
 package dabench_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	dabench "dabench"
 )
+
+// TestFacadeContextVariants pins the cancellation contract the serving
+// layer depends on: an already-cancelled context aborts the sweeps
+// with ctx's error instead of returning a partial result.
+func TestFacadeContextVariants(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	if _, err := dabench.RunExperimentContext(ctx, "table1"); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunExperimentContext error = %v, want context.Canceled", err)
+	}
+	spec := dabench.TrainSpec{Model: dabench.GPT2Small(), Batch: 1, Seq: 1024, Precision: dabench.FP16}
+	if _, err := dabench.DeploymentContext(ctx, dabench.NewWSE(), spec,
+		[]int{50, 200}, []dabench.Format{dabench.FP16}); !errors.Is(err, context.Canceled) {
+		t.Errorf("DeploymentContext error = %v, want context.Canceled", err)
+	}
+	if _, err := dabench.ScalabilityContext(ctx, dabench.NewWSE(), spec,
+		[]dabench.Parallelism{{}}, []string{"base"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ScalabilityContext error = %v, want context.Canceled", err)
+	}
+
+	// The live-context paths must match the context-free facade calls.
+	res, err := dabench.RunExperimentContext(t.Context(), "table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 {
+		t.Error("no tables from RunExperimentContext")
+	}
+}
 
 func TestFacadeProfileAllPlatforms(t *testing.T) {
 	specs := map[string]dabench.TrainSpec{

@@ -4,7 +4,8 @@
 // neither layer has to import the other to report uniform stats.
 package cachestats
 
-// Stats is a snapshot of a cache's hit/miss counters.
+// Stats is a snapshot of a cache's hit/miss counters. Snapshot is the
+// wire form; Stats itself never crosses the API boundary.
 type Stats struct {
 	Hits   int64
 	Misses int64
@@ -26,4 +27,17 @@ func (s Stats) HitRate() float64 {
 		return float64(s.Hits) / float64(total)
 	}
 	return 0
+}
+
+// Snapshot is the wire form of one tier's counters: the raw counters
+// plus the derived rate, so API consumers never recompute it.
+type Snapshot struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Snapshot derives the serializable view of the counters.
+func (s Stats) Snapshot() Snapshot {
+	return Snapshot{Hits: s.Hits, Misses: s.Misses, HitRate: s.HitRate()}
 }

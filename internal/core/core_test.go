@@ -80,7 +80,7 @@ func TestScalabilityRecordsFailures(t *testing.T) {
 	base := platform.TrainSpec{
 		Model: model.LLaMA2_70B(), Batch: 1, Seq: 4096, Precision: precision.BF16,
 	}
-	pts, err := Scalability(rdu.New(), base,
+	pts, err := Scalability(t.Context(), rdu.New(), base,
 		[]platform.Parallelism{
 			{Mode: platform.ModeO1, TensorParallel: 1},
 			{Mode: platform.ModeO1, TensorParallel: 8},
@@ -98,13 +98,13 @@ func TestScalabilityRecordsFailures(t *testing.T) {
 }
 
 func TestScalabilityLabelMismatch(t *testing.T) {
-	if _, err := Scalability(wse.New(), wseSpec(), []platform.Parallelism{{}}, nil); err == nil {
+	if _, err := Scalability(t.Context(), wse.New(), wseSpec(), []platform.Parallelism{{}}, nil); err == nil {
 		t.Error("label mismatch accepted")
 	}
 }
 
 func TestDeployment(t *testing.T) {
-	rep, err := Deployment(wse.New(), wseSpec(),
+	rep, err := Deployment(t.Context(), wse.New(), wseSpec(),
 		[]int{50, 200, 800}, []precision.Format{precision.FP16, precision.CB16})
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestDeployment(t *testing.T) {
 	if rep.KneeBatch == 0 || len(rep.Recommendations) != 2 {
 		t.Errorf("recommendations: %+v", rep)
 	}
-	if _, err := Deployment(wse.New(), wseSpec(), nil, nil); err == nil {
+	if _, err := Deployment(t.Context(), wse.New(), wseSpec(), nil, nil); err == nil {
 		t.Error("empty sweep accepted")
 	}
 }

@@ -24,12 +24,13 @@ type ScalePoint struct {
 // workload (Tier 2, Table III / Figure 11). The points are swept
 // concurrently on the sweep engine's worker pool; the output order
 // matches configs regardless of pool size. Placement failures are
-// recorded, not fatal — they are findings.
-func Scalability(p platform.Platform, base platform.TrainSpec, configs []platform.Parallelism, labels []string) ([]ScalePoint, error) {
+// recorded, not fatal — they are findings. Cancelling ctx stops the
+// sweep and returns ctx's error.
+func Scalability(ctx context.Context, p platform.Platform, base platform.TrainSpec, configs []platform.Parallelism, labels []string) ([]ScalePoint, error) {
 	if len(configs) != len(labels) {
 		return nil, fmt.Errorf("core: %d configs but %d labels", len(configs), len(labels))
 	}
-	outs, err := sweep.Map(context.Background(), configs,
+	outs, err := sweep.Map(ctx, configs,
 		func(_ context.Context, i int, par platform.Parallelism) (ScalePoint, error) {
 			spec := base
 			spec.Par = par
@@ -87,8 +88,8 @@ type DeploymentReport struct {
 // (Tier 2, Figure 12 / Table IV) and extracts the paper-style
 // recommendations. Both sweeps fan out on the sweep engine; compile
 // failures drop the point from the curve (a finding), any other error
-// aborts.
-func Deployment(p platform.Platform, base platform.TrainSpec, batches []int, formats []precision.Format) (*DeploymentReport, error) {
+// aborts. Cancelling ctx stops the sweeps and returns ctx's error.
+func Deployment(ctx context.Context, p platform.Platform, base platform.TrainSpec, batches []int, formats []precision.Format) (*DeploymentReport, error) {
 	if len(batches) == 0 || len(formats) == 0 {
 		return nil, fmt.Errorf("core: deployment sweep needs batches and formats")
 	}
@@ -106,7 +107,7 @@ func Deployment(p platform.Platform, base platform.TrainSpec, batches []int, for
 		return rr.TokensPerSec, nil
 	}
 
-	batchOuts, err := sweep.Map(context.Background(), batches,
+	batchOuts, err := sweep.Map(ctx, batches,
 		func(_ context.Context, _ int, b int) (float64, error) {
 			spec := base
 			spec.Batch = b
@@ -141,7 +142,7 @@ func Deployment(p platform.Platform, base platform.TrainSpec, batches []int, for
 		}
 	}
 
-	precOuts, err := sweep.Map(context.Background(), formats,
+	precOuts, err := sweep.Map(ctx, formats,
 		func(_ context.Context, _ int, f precision.Format) (float64, error) {
 			spec := base
 			spec.Precision = f

@@ -44,7 +44,7 @@ func (f *knobFake) Run(cr *platform.CompileReport) (*platform.RunReport, error) 
 // curve points, not off a misaligned prefix of the batch list.
 func TestDeploymentKneeSurvivesFailedBatch(t *testing.T) {
 	fake := &knobFake{failBatch: map[int]bool{50: true}}
-	rep, err := Deployment(fake,
+	rep, err := Deployment(t.Context(), fake,
 		platform.TrainSpec{Model: model.GPT2Small(), Batch: 1, Seq: 1024, Precision: precision.FP16},
 		[]int{50, 400, 800}, []precision.Format{precision.FP16})
 	if err != nil {
@@ -77,7 +77,7 @@ func TestDeploymentPrecisionGainFirstFormatFails(t *testing.T) {
 		failPrec: map[precision.Format]bool{precision.FP32: true},
 		precTPS:  map[precision.Format]float64{precision.FP16: 100, precision.BF16: 125},
 	}
-	rep, err := Deployment(fake,
+	rep, err := Deployment(t.Context(), fake,
 		platform.TrainSpec{Model: model.GPT2Small(), Batch: 8, Seq: 1024, Precision: precision.FP16},
 		[]int{8}, []precision.Format{precision.FP32, precision.FP16, precision.BF16})
 	if err != nil {
@@ -110,22 +110,22 @@ func TestTier2ParallelMatchesSerial(t *testing.T) {
 	labels := []string{"TP1", "TP8"}
 
 	sweep.SetDefaultWorkers(1)
-	serialScale, err := Scalability(rdu.New(), base, configs, labels)
+	serialScale, err := Scalability(t.Context(), rdu.New(), base, configs, labels)
 	if err != nil {
 		t.Fatal(err)
 	}
-	serialDeploy, err := Deployment(wse.New(), wseSpec(),
+	serialDeploy, err := Deployment(t.Context(), wse.New(), wseSpec(),
 		[]int{50, 200, 800}, []precision.Format{precision.FP16, precision.CB16})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	sweep.SetDefaultWorkers(8)
-	parScale, err := Scalability(rdu.New(), base, configs, labels)
+	parScale, err := Scalability(t.Context(), rdu.New(), base, configs, labels)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parDeploy, err := Deployment(wse.New(), wseSpec(),
+	parDeploy, err := Deployment(t.Context(), wse.New(), wseSpec(),
 		[]int{50, 200, 800}, []precision.Format{precision.FP16, precision.CB16})
 	if err != nil {
 		t.Fatal(err)
@@ -155,16 +155,16 @@ func TestScalabilityThroughCachedPlatform(t *testing.T) {
 	}
 	labels := []string{"TP2", "TP4"}
 
-	plain, err := Scalability(rdu.New(), base, configs, labels)
+	plain, err := Scalability(t.Context(), rdu.New(), base, configs, labels)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cached := platform.Cached(rdu.New())
-	first, err := Scalability(cached, base, configs, labels)
+	first, err := Scalability(t.Context(), cached, base, configs, labels)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := Scalability(cached, base, configs, labels)
+	second, err := Scalability(t.Context(), cached, base, configs, labels)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,11 +27,11 @@ func TestColdWarmCacheInvariance(t *testing.T) {
 			runner := All()[id]
 
 			ResetCaches()
-			cold, err := runner()
+			cold, err := runner(t.Context())
 			if err != nil {
 				t.Fatalf("workers=%d %s (cold): %v", workers, id, err)
 			}
-			warm, err := runner()
+			warm, err := runner(t.Context())
 			if err != nil {
 				t.Fatalf("workers=%d %s (warm): %v", workers, id, err)
 			}
@@ -125,7 +125,7 @@ func TestResultCarriesTierStats(t *testing.T) {
 	ResetCaches()
 	// figure7 drives the RDU mode grid: compile misses plus graph-cache
 	// sharing between O0 and O1.
-	cold, err := All()["figure7"]()
+	cold, err := All()["figure7"](t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestResultCarriesTierStats(t *testing.T) {
 		t.Errorf("O0/O1 grids share byte-identical graphs, want graph hits: %+v", cold.GraphCache)
 	}
 
-	warm, err := All()["figure7"]()
+	warm, err := All()["figure7"](t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,10 +154,10 @@ func TestResultCarriesTierStats(t *testing.T) {
 	// cache must see traffic and a warm re-run must be pure hits there
 	// too.
 	ResetCaches()
-	if _, err := All()["figure12"](); err != nil {
+	if _, err := All()["figure12"](t.Context()); err != nil {
 		t.Fatal(err)
 	}
-	warm12, err := All()["figure12"]()
+	warm12, err := All()["figure12"](t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}

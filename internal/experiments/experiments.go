@@ -54,8 +54,11 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Runner executes one experiment.
-type Runner func() (*Result, error)
+// Runner executes one experiment. The context bounds every sweep the
+// runner fans out: cancelling it (a serving deadline, a dropped HTTP
+// client, SIGTERM drain) stops the worker pool and surfaces ctx's
+// error instead of a partial result.
+type Runner func(ctx context.Context) (*Result, error)
 
 // --- Shared memoized platforms ---------------------------------------------
 
@@ -116,12 +119,12 @@ func GraphCacheStats() platform.CacheStats { return graph.Stats() }
 // instrument decorates a runner with cache-delta and wall-clock
 // accounting across all three memoization tiers.
 func instrument(f Runner) Runner {
-	return func() (*Result, error) {
+	return func(ctx context.Context) (*Result, error) {
 		start := time.Now()
 		before := CacheStats()
 		beforeRun := RunCacheStats()
 		beforeGraph := GraphCacheStats()
-		res, err := f()
+		res, err := f(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -173,13 +176,13 @@ func gptSpec(l int) platform.TrainSpec {
 
 // TableI reproduces "PE allocation ratio across different layer
 // configurations" on the WSE-2.
-func TableI() (*Result, error) {
+func TableI(ctx context.Context) (*Result, error) {
 	sim := wsePlat()
 	tbl := report.New("Table I — WSE-2 PE allocation ratio vs. layer count (GPT-2 HS768)",
 		"Layers", "PE alloc %", "Status")
 	res := &Result{ID: "table1"}
 	layers := workload.PaperLayerPoints()
-	outs, err := sweep.Map(context.Background(), layers,
+	outs, err := sweep.Map(ctx, layers,
 		func(_ context.Context, _ int, l int) (float64, error) {
 			cr, err := sim.Compile(gptSpec(l))
 			if err != nil {
@@ -212,14 +215,14 @@ func TableI() (*Result, error) {
 
 // Figure6 reproduces the WSE-2 PE usage breakdown: computation PEs,
 // transmission PEs, and per-attention-kernel PEs vs. layer count.
-func Figure6() (*Result, error) {
+func Figure6(ctx context.Context) (*Result, error) {
 	sim := wsePlat()
 	tbl := report.New("Figure 6 — WSE-2 PE usage breakdown (GPT-2 HS768)",
 		"Layers", "Computation PEs", "Transmission PEs", "PEs per attention kernel")
 	res := &Result{ID: "figure6"}
 	layers := []int{1, 6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72}
 	type row struct{ compute, tx, attn float64 }
-	outs, err := sweep.Map(context.Background(), layers,
+	outs, err := sweep.Map(ctx, layers,
 		func(_ context.Context, _ int, l int) (row, error) {
 			cr, err := sim.Compile(gptSpec(l))
 			if err != nil {
@@ -316,7 +319,7 @@ func (p modeLayer) spec() platform.TrainSpec {
 
 // Figure7 reproduces the RDU resource-allocation ratios across layers
 // (a) and hidden sizes (b) under O0/O1/O3.
-func Figure7() (*Result, error) {
+func Figure7(ctx context.Context) (*Result, error) {
 	sim := rduPlat()
 	res := &Result{ID: "figure7"}
 	type alloc struct{ pcu, pmu float64 }
@@ -324,7 +327,7 @@ func Figure7() (*Result, error) {
 	a := report.New("Figure 7a — RDU allocation vs. layers (GPT-2 HS768)",
 		"Mode", "Layers", "PCU %", "PMU %")
 	aPts := modeLayerPoints(rduModes, []int{4, 8, 16, 24, 32, 48})
-	aOuts, err := sweep.Map(context.Background(), aPts,
+	aOuts, err := sweep.Map(ctx, aPts,
 		func(_ context.Context, _ int, pt modeLayer) (alloc, error) {
 			cr, err := sim.Compile(pt.spec())
 			if err != nil {
@@ -350,7 +353,7 @@ func Figure7() (*Result, error) {
 	b := report.New("Figure 7b — RDU allocation vs. hidden size",
 		"Mode", "Hidden", "PCU %", "PMU %")
 	bPts := modeHiddenPoints(rduModes)
-	bOuts, err := sweep.Map(context.Background(), bPts,
+	bOuts, err := sweep.Map(ctx, bPts,
 		func(_ context.Context, _ int, pt modeHidden) (alloc, error) {
 			cr, err := sim.Compile(pt.spec(8, 4))
 			if err != nil {
@@ -377,7 +380,7 @@ func Figure7() (*Result, error) {
 
 // TableII reproduces the O3 layer-partitioning utilizations (a) and
 // the O1 LM-head shard info (b).
-func TableII() (*Result, error) {
+func TableII(ctx context.Context) (*Result, error) {
 	sim := rduPlat()
 	res := &Result{ID: "table2"}
 
@@ -385,7 +388,7 @@ func TableII() (*Result, error) {
 		"Hidden", "Fwd util %", "Fwd sections/decoder", "Bwd util %", "Bwd sections/decoder")
 	type o3row struct{ fu, bu, nFwd, nBwd float64 }
 	small := workload.PaperHiddenPointsSmall()
-	aOuts, err := sweep.Map(context.Background(), small,
+	aOuts, err := sweep.Map(ctx, small,
 		func(_ context.Context, _ int, h int) (o3row, error) {
 			spec := platform.TrainSpec{
 				Model: model.DecoderBlock(model.GPT2, h).WithLayers(12), Batch: 4, Seq: defaultSeq,
@@ -430,7 +433,7 @@ func TableII() (*Result, error) {
 		"Hidden", "Shard sections", "PCU/section", "PMU/section")
 	type o1row struct{ n, pcu, pmu float64 }
 	large := workload.PaperHiddenPointsLarge()
-	bOuts, err := sweep.Map(context.Background(), large,
+	bOuts, err := sweep.Map(ctx, large,
 		func(_ context.Context, _ int, h int) (o1row, error) {
 			spec := platform.TrainSpec{
 				Model: model.DecoderBlock(model.LLaMA2, h).WithLayers(8), Batch: 1, Seq: defaultSeq,
@@ -479,7 +482,7 @@ func rduLI(sim platform.Platform, cr *platform.CompileReport) (float64, error) {
 
 // Figure8 reproduces load imbalance vs. layers (a) and hidden size (b)
 // for the WSE (kernel level) and the RDU O1/O3 (operator level).
-func Figure8() (*Result, error) {
+func Figure8(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "figure8"}
 	w := wsePlat()
 	r := rduPlat()
@@ -487,7 +490,7 @@ func Figure8() (*Result, error) {
 	a := report.New("Figure 8a — LI vs. layer count", "Platform", "Layers", "LI")
 	layers := []int{4, 12, 24, 36, 48, 60}
 	type liRow struct{ wse, o1, o3 float64 }
-	aOuts, err := sweep.Map(context.Background(), layers,
+	aOuts, err := sweep.Map(ctx, layers,
 		func(_ context.Context, _ int, l int) (liRow, error) {
 			var row liRow
 			wp, err := core.Profile(w, gptSpec(l))
@@ -531,7 +534,7 @@ func Figure8() (*Result, error) {
 
 	b := report.New("Figure 8b — RDU LI vs. hidden size", "Mode", "Hidden", "LI")
 	bPts := modeHiddenPoints([]platform.CompileMode{platform.ModeO1, platform.ModeO3})
-	bOuts, err := sweep.Map(context.Background(), bPts,
+	bOuts, err := sweep.Map(ctx, bPts,
 		func(_ context.Context, _ int, pt modeHidden) (float64, error) {
 			cr, err := r.Compile(pt.spec(8, 4))
 			if err != nil {
@@ -554,7 +557,7 @@ func Figure8() (*Result, error) {
 // Figure9 reproduces the memory/compute interaction per chip: the
 // WSE-2 percentage breakdown and TFLOPs (a), RDU TFLOPs vs. layers (b)
 // and hidden size (c), IPU memory and TFLOPs vs. layers (d).
-func Figure9() (*Result, error) {
+func Figure9(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "figure9"}
 	w, r, i := wsePlat(), rduPlat(), ipuPlat()
 
@@ -562,7 +565,7 @@ func Figure9() (*Result, error) {
 		"Layers", "Config mem %", "Training mem %", "Total mem %", "TFLOPs")
 	aLayers := []int{6, 12, 18, 24, 30, 36, 42, 48, 54, 60}
 	type memRow struct{ cfg, train, tflops float64 }
-	aOuts, err := sweep.Map(context.Background(), aLayers,
+	aOuts, err := sweep.Map(ctx, aLayers,
 		func(_ context.Context, _ int, l int) (memRow, error) {
 			cr, err := w.Compile(gptSpec(l))
 			if err != nil {
@@ -593,7 +596,7 @@ func Figure9() (*Result, error) {
 
 	b := report.New("Figure 9b — RDU TFLOPs vs. layers (GPT-2 HS768)", "Mode", "Layers", "TFLOPs")
 	bPts := modeLayerPoints(rduModes, []int{4, 8, 16, 24, 32, 40})
-	bOuts, err := sweep.Map(context.Background(), bPts,
+	bOuts, err := sweep.Map(ctx, bPts,
 		func(_ context.Context, _ int, pt modeLayer) (float64, error) {
 			cr, err := r.Compile(pt.spec())
 			if err != nil {
@@ -616,7 +619,7 @@ func Figure9() (*Result, error) {
 
 	c := report.New("Figure 9c — RDU TFLOPs vs. hidden size", "Mode", "Hidden", "TFLOPs")
 	cPts := modeHiddenPoints(rduModes)
-	cOuts, err := sweep.Map(context.Background(), cPts,
+	cOuts, err := sweep.Map(ctx, cPts,
 		func(_ context.Context, _ int, pt modeHidden) (float64, error) {
 			cr, err := r.Compile(pt.spec(8, 4))
 			if err != nil {
@@ -641,7 +644,7 @@ func Figure9() (*Result, error) {
 		"Layers", "Memory MB", "TFLOPs", "Status")
 	dLayers := []int{1, 2, 4, 6, 8, 10}
 	type ipuRow struct{ memMB, tflops float64 }
-	dOuts, err := sweep.Map(context.Background(), dLayers,
+	dOuts, err := sweep.Map(ctx, dLayers,
 		func(_ context.Context, _ int, l int) (ipuRow, error) {
 			spec := platform.TrainSpec{
 				Model: model.GPT2Small().WithLayers(l), Batch: 2048, Seq: defaultSeq,
@@ -680,7 +683,7 @@ func Figure9() (*Result, error) {
 
 // Figure10 reproduces the per-chip rooflines at the global memory
 // tier.
-func Figure10() (*Result, error) {
+func Figure10(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "figure10"}
 	tbl := report.New("Figure 10 — global-memory rooflines",
 		"Platform", "Workload", "AI FLOPs/B", "Achieved TFLOPs", "Bound TFLOPs", "Regime")
@@ -713,7 +716,7 @@ func Figure10() (*Result, error) {
 		}})
 	}
 
-	outs, err := sweep.Map(context.Background(), pts,
+	outs, err := sweep.Map(ctx, pts,
 		func(_ context.Context, _ int, pt rfPt) (*core.Tier1Result, error) {
 			return core.Profile(pt.p, pt.spec)
 		}, sweep.Tolerating(nil))
@@ -734,7 +737,7 @@ func Figure10() (*Result, error) {
 }
 
 // TableIII reproduces the multi-hardware scalability comparison.
-func TableIII() (*Result, error) {
+func TableIII(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "table3"}
 	tbl := report.New("Table III — multi-hardware scalability",
 		"Device", "Configuration", "Model", "Throughput", "Unit")
@@ -814,7 +817,7 @@ func TableIII() (*Result, error) {
 		})
 	}
 
-	outs, err := sweep.Map(context.Background(), pts,
+	outs, err := sweep.Map(ctx, pts,
 		func(_ context.Context, _ int, pt t3Pt) (float64, error) {
 			cr, err := pt.p.Compile(pt.spec)
 			if err != nil {
@@ -847,7 +850,7 @@ func TableIII() (*Result, error) {
 
 // Figure11 reproduces the scalability details: WSE replica throughput
 // (a), RDU allocation vs TP (b), IPU throughput vs layer allocation (c).
-func Figure11() (*Result, error) {
+func Figure11(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "figure11"}
 
 	a := report.New("Figure 11a — WSE throughput vs. replicas (2/small, 4/mini, 8/tiny)",
@@ -857,7 +860,7 @@ func Figure11() (*Result, error) {
 		repl int
 		m    model.Config
 	}{{2, model.GPT2Small()}, {4, model.GPTMini()}, {8, model.GPTTiny()}}
-	aOuts, err := sweep.Map(context.Background(), pairs,
+	aOuts, err := sweep.Map(ctx, pairs,
 		func(_ context.Context, _ int, pr struct {
 			repl int
 			m    model.Config
@@ -896,7 +899,7 @@ func Figure11() (*Result, error) {
 	r := rduPlat()
 	tps := []int{2, 4, 8}
 	type alloc struct{ pcu, pmu float64 }
-	bOuts, err := sweep.Map(context.Background(), tps,
+	bOuts, err := sweep.Map(ctx, tps,
 		func(_ context.Context, _ int, tp int) (alloc, error) {
 			spec := platform.TrainSpec{
 				Model: model.LLaMA2_7B(), Batch: 8, Seq: 4096, Precision: precision.BF16,
@@ -931,7 +934,7 @@ func Figure11() (*Result, error) {
 		{2, 2, 1, 1, 1, 1}, {1, 1, 1, 1, 2, 2},
 		{4, 4, 4, 2, 2, 2}, {6, 5, 5, 3, 3, 3}, {6, 3, 3, 2, 2, 2},
 	}
-	cOuts, err := sweep.Map(context.Background(), assignments,
+	cOuts, err := sweep.Map(ctx, assignments,
 		func(_ context.Context, _ int, assign []int) (float64, error) {
 			total := 0
 			for _, v := range assign {
@@ -981,7 +984,7 @@ func Figure11() (*Result, error) {
 // purpose: each Deployment already fans its batch/precision points out
 // on the full worker pool, and nesting pools would multiply
 // concurrency past the configured -parallel bound.
-func Figure12() (*Result, error) {
+func Figure12(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "figure12"}
 	tbl := report.New("Figure 12 — throughput vs. batch size", "Platform", "Batch", "Tokens/s")
 
@@ -1000,7 +1003,7 @@ func Figure12() (*Result, error) {
 			[]int{50, 75, 100, 125, 150, 175, 200, 225}},
 	}
 	for _, c := range cases {
-		rep, err := core.Deployment(c.p, c.spec, c.batches, []precision.Format{c.spec.Precision})
+		rep, err := core.Deployment(ctx, c.p, c.spec, c.batches, []precision.Format{c.spec.Precision})
 		if err != nil {
 			return nil, err
 		}
@@ -1014,7 +1017,7 @@ func Figure12() (*Result, error) {
 }
 
 // TableIV reproduces the mixed-precision throughput comparison.
-func TableIV() (*Result, error) {
+func TableIV(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "table4"}
 	tbl := report.New("Table IV — precision impact", "Platform", "Format", "Tokens/s", "Gain vs baseline")
 
@@ -1047,7 +1050,7 @@ func TableIV() (*Result, error) {
 			pts = append(pts, t4Pt{caseIdx: ci, p: c.p, f: f, spec: spec})
 		}
 	}
-	outs, err := sweep.Map(context.Background(), pts,
+	outs, err := sweep.Map(ctx, pts,
 		func(_ context.Context, _ int, pt t4Pt) (float64, error) {
 			cr, err := pt.p.Compile(pt.spec)
 			if err != nil {

@@ -15,7 +15,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			res, err := All()[id]()
+			res, err := All()[id](t.Context())
 			if err != nil {
 				t.Fatalf("%s: %v", id, err)
 			}
@@ -42,7 +42,7 @@ func TestAllExperimentsRun(t *testing.T) {
 }
 
 func TestTableIRecordsFailureAt78(t *testing.T) {
-	res, err := TableI()
+	res, err := TableI(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestTableIRecordsFailureAt78(t *testing.T) {
 }
 
 func TestFigure9IPUFailureAt10(t *testing.T) {
-	res, err := Figure9()
+	res, err := Figure9(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestFigure9IPUFailureAt10(t *testing.T) {
 }
 
 func TestTraceAggregation(t *testing.T) {
-	res, err := TableIV()
+	res, err := TableIV(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestTraceAggregation(t *testing.T) {
 }
 
 func TestTableIIIOrderings(t *testing.T) {
-	res, err := TableIII()
+	res, err := TableIII(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,14 +40,14 @@ func TestParallelMatchesSerial(t *testing.T) {
 
 			sweep.SetDefaultWorkers(1)
 			ResetCaches()
-			serial, err := runner()
+			serial, err := runner(t.Context())
 			if err != nil {
 				t.Fatal(err)
 			}
 
 			sweep.SetDefaultWorkers(8)
 			ResetCaches()
-			parallel, err := runner()
+			parallel, err := runner(t.Context())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +70,7 @@ func TestSharedCacheAcrossRunners(t *testing.T) {
 	ResetCaches()
 	all := All()
 	for _, id := range []string{"table1", "figure6", "figure9", "figure10"} {
-		if _, err := all[id](); err != nil {
+		if _, err := all[id](t.Context()); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 	}
@@ -87,7 +87,7 @@ func TestSharedCacheAcrossRunners(t *testing.T) {
 // CLI prints: cache deltas and wall-clock.
 func TestInstrumentedResultsCarryStats(t *testing.T) {
 	ResetCaches()
-	res, err := All()["table1"]()
+	res, err := All()["table1"](t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestInstrumentedResultsCarryStats(t *testing.T) {
 		t.Errorf("cold-cache run reported no misses: %+v", res.Cache)
 	}
 	// Re-running the same experiment on the warm cache must be all hits.
-	res2, err := All()["table1"]()
+	res2, err := All()["table1"](t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"dabench/internal/memo"
+)
+
+// TestResetCachesRacesInFlight hammers ResetCaches while runners and
+// direct compiles are in flight. The contract under test: a reset
+// concurrent with traffic is always safe — in-flight work completes
+// against the cells it started on, later requests see fresh cells, no
+// request ever observes a poisoned (memo.ErrPanicked) or partial memo
+// entry, and results stay byte-identical to an undisturbed run. CI
+// runs this under -race.
+func TestResetCachesRacesInFlight(t *testing.T) {
+	// Undisturbed reference render of table1.
+	ResetCaches()
+	ref, err := All()["table1"](t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := ref.Render(&want, false); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		resets     = 50
+		runners    = 4
+		compilers  = 4
+		iterations = 6
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < resets; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				ResetCaches()
+			}
+		}
+	}()
+
+	errCh := make(chan error, runners*iterations+compilers*iterations)
+	for g := 0; g < runners; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				res, err := All()["table1"](t.Context())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var got bytes.Buffer
+				if err := res.Render(&got, false); err != nil {
+					errCh <- err
+					return
+				}
+				if got.String() != want.String() {
+					t.Error("render diverged while racing ResetCaches")
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < compilers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				// Re-resolve each iteration so post-reset wrappers get
+				// traffic too, not just the set captured at test start.
+				sim, _ := SharedPlatform("wse")
+				cr, err := sim.Compile(gptSpec(12))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := sim.Run(cr); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	close(errCh)
+	for err := range errCh {
+		if errors.Is(err, memo.ErrPanicked) {
+			t.Fatalf("later request observed a poisoned memo cell: %v", err)
+		}
+		t.Errorf("request failed while racing ResetCaches: %v", err)
+	}
+
+	// The world after the dust settles must be a working cold cache.
+	ResetCaches()
+	res, err := All()["table1"](t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := res.Render(&got, false); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("post-race render diverged from reference")
+	}
+	if res.Cache.Misses == 0 {
+		t.Errorf("post-reset run should miss cold caches: %+v", res.Cache)
+	}
+}

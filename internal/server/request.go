@@ -1,0 +1,273 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dabench/internal/experiments"
+	"dabench/internal/model"
+	"dabench/internal/platform"
+	"dabench/internal/precision"
+)
+
+// maxBodyBytes bounds request bodies; specs are tiny and anything
+// larger is a client bug or abuse.
+const maxBodyBytes = 1 << 20
+
+// RunRequest is the wire form of a TrainSpec plus its target platform:
+// the same knobs the paper's "training configuration" input category
+// and the CLI's profile flags expose. Zero-valued fields take the
+// CLI's defaults (batch 512, seq 1024, FP16).
+type RunRequest struct {
+	Platform string `json:"platform"`
+	Model    string `json:"model"`
+	// Layers overrides the preset's decoder-layer count when > 0.
+	Layers    int    `json:"layers,omitempty"`
+	Batch     int    `json:"batch,omitempty"`
+	Seq       int    `json:"seq,omitempty"`
+	Precision string `json:"precision,omitempty"`
+	// Mode is the RDU compile mode: "O0", "O1" or "O3".
+	Mode             string `json:"mode,omitempty"`
+	DataParallel     int    `json:"data_parallel,omitempty"`
+	TensorParallel   int    `json:"tensor_parallel,omitempty"`
+	PipelineParallel int    `json:"pipeline_parallel,omitempty"`
+	LayerAssignment  []int  `json:"layer_assignment,omitempty"`
+	WeightStreaming  bool   `json:"weight_streaming,omitempty"`
+}
+
+// SweepRequest is a RunRequest base point plus the axes to fan out:
+// the cross product of layer counts, batch sizes and precision formats
+// (an empty axis holds the base value fixed). Budget caps the point
+// count for this request; the server clamps it to its own maximum.
+type SweepRequest struct {
+	RunRequest
+	LayerCounts []int    `json:"layer_counts,omitempty"`
+	Batches     []int    `json:"batches,omitempty"`
+	Precisions  []string `json:"precisions,omitempty"`
+	Budget      int      `json:"budget,omitempty"`
+}
+
+// RunResult is one compile+run outcome. A placement failure (the
+// paper's "Fail" table entries) is a finding, not an error: it comes
+// back with 200, Failed set, and the compiler's reason.
+type RunResult struct {
+	Label    string `json:"label,omitempty"`
+	Platform string `json:"platform"`
+	// SpecKey is the canonical spec fingerprint — the singleflight
+	// compile-cache key this request coalesced on.
+	SpecKey          string             `json:"spec_key"`
+	Failed           bool               `json:"failed,omitempty"`
+	FailReason       string             `json:"fail_reason,omitempty"`
+	StepTimeSec      float64            `json:"step_time_sec,omitempty"`
+	TokensPerSec     float64            `json:"tokens_per_sec,omitempty"`
+	SamplesPerSec    float64            `json:"samples_per_sec,omitempty"`
+	TFLOPS           float64            `json:"tflops,omitempty"`
+	Efficiency       float64            `json:"efficiency,omitempty"`
+	AI               float64            `json:"arithmetic_intensity,omitempty"`
+	Allocation       map[string]float64 `json:"allocation,omitempty"`
+	MemoryUsedMB     float64            `json:"memory_used_mb,omitempty"`
+	MemoryCapacityMB float64            `json:"memory_capacity_mb,omitempty"`
+	Notes            []string           `json:"notes,omitempty"`
+}
+
+// ErrorBody is the uniform error envelope payload.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// Error codes of the envelope.
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeSaturated  = "saturated"
+	CodeTimeout    = "timeout"
+	CodeInternal   = "internal"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // headers are out; nothing left to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// decode parses a JSON body strictly: unknown fields, trailing data
+// and oversized bodies are client errors, never silently ignored.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decode body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// resolve maps the request onto the process-wide cached platform set
+// and a validated TrainSpec. All errors are client errors.
+func (req RunRequest) resolve() (platform.CachedPlatform, platform.TrainSpec, error) {
+	var spec platform.TrainSpec
+	if req.Platform == "" {
+		return nil, spec, errors.New("platform is required (wse, rdu, ipu, gpu)")
+	}
+	p, ok := experiments.SharedPlatform(req.Platform)
+	if !ok {
+		return nil, spec, fmt.Errorf("unknown platform %q (valid: %s)",
+			req.Platform, strings.Join(experiments.PlatformNames(), ", "))
+	}
+	if req.Model == "" {
+		return nil, spec, errors.New("model is required (run `dabench list` for the preset names)")
+	}
+	cfg, ok := model.ByName(req.Model)
+	if !ok {
+		return nil, spec, fmt.Errorf("unknown model %q", req.Model)
+	}
+	if req.Layers < 0 {
+		return nil, spec, fmt.Errorf("layers %d must be >= 0", req.Layers)
+	}
+	if req.Layers > 0 {
+		cfg = cfg.WithLayers(req.Layers)
+	}
+
+	spec = platform.TrainSpec{Model: cfg, Batch: req.Batch, Seq: req.Seq}
+	if spec.Batch == 0 {
+		spec.Batch = 512
+	}
+	if spec.Seq == 0 {
+		spec.Seq = 1024
+	}
+	prec := req.Precision
+	if prec == "" {
+		prec = "FP16"
+	}
+	f, err := precision.Parse(prec)
+	if err != nil {
+		return nil, spec, err
+	}
+	spec.Precision = f
+
+	spec.Par = platform.Parallelism{
+		DataParallel:     req.DataParallel,
+		TensorParallel:   req.TensorParallel,
+		PipelineParallel: req.PipelineParallel,
+		LayerAssignment:  req.LayerAssignment,
+		WeightStreaming:  req.WeightStreaming,
+	}
+	switch strings.ToUpper(req.Mode) {
+	case "":
+	case "O0":
+		spec.Par.Mode = platform.ModeO0
+	case "O1":
+		spec.Par.Mode = platform.ModeO1
+	case "O3":
+		spec.Par.Mode = platform.ModeO3
+	default:
+		return nil, spec, fmt.Errorf("unknown mode %q (valid: O0, O1, O3)", req.Mode)
+	}
+
+	if err := spec.Validate(); err != nil {
+		return nil, spec, err
+	}
+	return p, spec, nil
+}
+
+// points expands the sweep axes into the cross-product of specs, in
+// deterministic layer-major → batch → precision order (the order the
+// response's results array follows). The cross product is checked
+// against budget arithmetically, before any expansion: one request
+// with three large axes must fail cheaply, not materialize the
+// product and take the process down with it.
+func (req SweepRequest) points(budget int) (platform.CachedPlatform, []platform.TrainSpec, []string, error) {
+	p, base, err := req.RunRequest.resolve()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	layers := req.LayerCounts
+	if len(layers) == 0 {
+		layers = []int{base.Model.NumLayers}
+	}
+	batches := req.Batches
+	if len(batches) == 0 {
+		batches = []int{base.Batch}
+	}
+	nFormats := len(req.Precisions)
+	if nFormats == 0 {
+		nFormats = 1
+	}
+	// Axis lengths are bounded by the body cap (~1e5 each), so the
+	// 3-way product cannot overflow int64 arithmetic.
+	if product := int64(len(layers)) * int64(len(batches)) * int64(nFormats); product > int64(budget) {
+		return nil, nil, nil, fmt.Errorf("sweep of %d points exceeds the budget of %d", product, budget)
+	}
+	formats := make([]precision.Format, 0, nFormats)
+	if len(req.Precisions) == 0 {
+		formats = append(formats, base.Precision)
+	}
+	for _, s := range req.Precisions {
+		f, err := precision.Parse(s)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		formats = append(formats, f)
+	}
+
+	specs := make([]platform.TrainSpec, 0, len(layers)*len(batches)*len(formats))
+	labels := make([]string, 0, cap(specs))
+	for _, l := range layers {
+		for _, b := range batches {
+			for _, f := range formats {
+				spec := base
+				if l <= 0 || b <= 0 {
+					return nil, nil, nil, fmt.Errorf("sweep axes must be positive (layer %d, batch %d)", l, b)
+				}
+				spec.Model = spec.Model.WithLayers(l)
+				spec.Batch = b
+				spec.Precision = f
+				if err := spec.Validate(); err != nil {
+					return nil, nil, nil, err
+				}
+				specs = append(specs, spec)
+				labels = append(labels, fmt.Sprintf("L=%d/B=%d/%s", l, b, f))
+			}
+		}
+	}
+	return p, specs, labels, nil
+}
+
+// result assembles the wire form of one compile+run outcome.
+func result(p platform.Platform, spec platform.TrainSpec, cr *platform.CompileReport, rr *platform.RunReport) RunResult {
+	res := RunResult{Platform: p.Name(), SpecKey: spec.Key()}
+	if cr != nil {
+		res.Allocation = make(map[string]float64, len(cr.Capacity))
+		for r := range cr.Capacity {
+			res.Allocation[string(r)] = cr.AllocationRatio(r)
+		}
+		res.MemoryUsedMB = cr.Memory.Used().MB()
+		res.MemoryCapacityMB = cr.Memory.Capacity.MB()
+		res.Notes = cr.Notes
+	}
+	if rr != nil {
+		res.StepTimeSec = float64(rr.StepTime)
+		res.TokensPerSec = rr.TokensPerSec
+		res.SamplesPerSec = rr.SamplesPerSec
+		res.TFLOPS = rr.Achieved.TFLOPS()
+		res.Efficiency = rr.Efficiency
+		res.AI = rr.AI
+	}
+	return res
+}

@@ -1,0 +1,337 @@
+// Package server puts the cached compile/run pipeline behind a
+// long-lived HTTP JSON API — the dabenchd daemon. Where the CLI dies
+// with its process, the server's hot state (the graph/compile/run
+// singleflight tiers behind experiments.SharedPlatform) amortizes
+// across requests: identical specs coalesce to one compile whether
+// they arrive concurrently or hours apart, and a warm experiment
+// re-render costs cache lookups, not simulation.
+//
+// Endpoints:
+//
+//	GET  /healthz               liveness
+//	GET  /v1/stats              per-tier cache counters + serving counters
+//	POST /v1/run                one compile+run of a TrainSpec-shaped request
+//	POST /v1/sweep              batch sweep (layer × batch × precision cross product)
+//	GET  /v1/experiments        list paper artifact IDs
+//	GET  /v1/experiments/{id}   rendered artifact (?format=text|csv|trace)
+//
+// Admission control is a bounded semaphore sized off the sweep worker
+// pool: when every simulation slot is busy the heavy endpoints answer
+// 429 immediately instead of queueing unboundedly. Each admitted
+// request runs under a deadline threaded through every sweep it fans
+// out (/v1/sweep points, /v1/experiments runners), so a dropped client
+// or a drain stops the worker pool instead of simulating into the
+// void; /v1/run's single compile+run is the pipeline's atomic unit,
+// with the deadline honored at its stage boundaries. Graceful drain is
+// the caller's http.Server Shutdown: in-flight requests finish, new
+// ones are refused.
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dabench/internal/cachestats"
+	"dabench/internal/experiments"
+	"dabench/internal/platform"
+	"dabench/internal/sweep"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted heavy requests
+	// (run/sweep/experiments). 0 means twice the sweep worker pool:
+	// enough headroom for duplicate specs to coalesce in the
+	// singleflight cells while the pool is busy, without unbounded
+	// queueing.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline threaded into every
+	// sweep (default 2m).
+	RequestTimeout time.Duration
+	// MaxSweepPoints caps one /v1/sweep request's cross product
+	// (default 1024). A request's own budget may only lower it.
+	MaxSweepPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * sweep.DefaultWorkers()
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 1024
+	}
+	return c
+}
+
+// Stats is the /v1/stats payload: serving counters plus a snapshot of
+// every cache tier the pipeline runs on.
+type Stats struct {
+	InFlight     int64                          `json:"in_flight"`
+	Served       int64                          `json:"served"`
+	Rejected     int64                          `json:"rejected"`
+	MaxInFlight  int                            `json:"max_in_flight"`
+	SweepWorkers int                            `json:"sweep_workers"`
+	UptimeSec    float64                        `json:"uptime_sec"`
+	Caches       map[string]cachestats.Snapshot `json:"caches"`
+}
+
+// Server is the dabenchd HTTP handler. Create with New; the zero value
+// is not usable.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	sem chan struct{}
+
+	inFlight atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+	start    time.Time
+}
+
+// New builds a Server over the process-wide cached platform set.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/run", s.admit(s.handleRun))
+	s.mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.admit(s.handleExperiment))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// admit wraps a heavy handler with the bounded-semaphore admission
+// gate and the per-request deadline. Saturation is answered with 429
+// immediately — shedding load beats queueing it when every slot is a
+// full simulation sweep.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, CodeSaturated,
+				"all "+strconv.Itoa(cap(s.sem))+" simulation slots are busy; retry shortly")
+			return
+		}
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+		s.served.Add(1)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Stats{
+		InFlight:     s.inFlight.Load(),
+		Served:       s.served.Load(),
+		Rejected:     s.rejected.Load(),
+		MaxInFlight:  cap(s.sem),
+		SweepWorkers: sweep.DefaultWorkers(),
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Caches: map[string]cachestats.Snapshot{
+			"compile": experiments.CacheStats().Snapshot(),
+			"run":     experiments.RunCacheStats().Snapshot(),
+			"graph":   experiments.GraphCacheStats().Snapshot(),
+		},
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	p, spec, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+
+	// A single Compile/Run pair is the pipeline's atomic unit — the
+	// Platform interface is context-free by design (simulators are
+	// pure functions, milliseconds each). The request deadline is
+	// honored at the stage boundaries instead.
+	if err := r.Context().Err(); err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	cr, err := p.Compile(spec)
+	if err != nil {
+		if platform.IsCompileFailure(err) {
+			// A placement failure is a finding — the paper's "Fail"
+			// entries — not a request error.
+			res := result(p, spec, nil, nil)
+			res.Failed, res.FailReason = true, err.Error()
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+		// The simulators validate their inputs in Compile; anything
+		// that is neither placement nor validation would have failed
+		// spec.Validate above.
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	rr, err := p.Run(cr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, result(p, spec, cr, rr))
+}
+
+// SweepResponse is the /v1/sweep payload; Results follows the
+// deterministic layer-major point order.
+type SweepResponse struct {
+	Platform string      `json:"platform"`
+	Points   int         `json:"points"`
+	Failed   int         `json:"failed"`
+	Results  []RunResult `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	budget := s.cfg.MaxSweepPoints
+	if req.Budget > 0 && req.Budget < budget {
+		budget = req.Budget
+	}
+	p, specs, labels, err := req.points(budget)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+
+	outs, err := sweep.Map(r.Context(), specs,
+		func(_ context.Context, _ int, spec platform.TrainSpec) (RunResult, error) {
+			cr, err := p.Compile(spec)
+			if err != nil {
+				return RunResult{}, err // placement failures tolerated by default
+			}
+			rr, err := p.Run(cr)
+			if err != nil {
+				return RunResult{}, err
+			}
+			return result(p, spec, cr, rr), nil
+		})
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+
+	resp := SweepResponse{Platform: p.Name(), Points: len(outs)}
+	resp.Results = make([]RunResult, len(outs))
+	for i, o := range outs {
+		res := o.Value
+		if o.Failed() {
+			res = result(p, specs[i], nil, nil)
+			res.Failed, res.FailReason = true, o.Err.Error()
+			resp.Failed++
+		}
+		res.Label = labels[i]
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"experiments": experiments.IDs()})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	runner, ok := experiments.All()[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown experiment "+strconv.Quote(id))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "text", "csv", "trace":
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"unknown format "+strconv.Quote(format)+" (valid: text, csv, trace)")
+		return
+	}
+
+	res, err := runner(r.Context())
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+
+	switch format {
+	case "trace":
+		writeJSON(w, http.StatusOK, res.Trace)
+	case "csv":
+		var buf bytes.Buffer
+		if err := res.Render(&buf, true); err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	default:
+		// The text body goes through the same Render path as the CLI's
+		// stdout, byte for byte — CI diffs the two.
+		var buf bytes.Buffer
+		if err := res.Render(&buf, false); err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	}
+}
+
+// writeRunError maps a pipeline error to the wire: deadline → 504,
+// client gone → nothing useful to send, anything else → 500.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "request deadline exceeded mid-sweep")
+	case errors.Is(err, context.Canceled):
+		// The client hung up; 499-style best effort.
+		writeError(w, 499, CodeTimeout, "request canceled")
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}

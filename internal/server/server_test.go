@@ -1,0 +1,406 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dabench/internal/experiments"
+	"dabench/internal/trace"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var got map[string]string
+	resp := getJSON(t, ts.URL+"/healthz", &got)
+	if resp.StatusCode != http.StatusOK || got["status"] != "ok" {
+		t.Errorf("healthz = %d %v", resp.StatusCode, got)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	ts := newTestServer(t, Config{MaxInFlight: 3})
+	var st Stats
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	if st.MaxInFlight != 3 {
+		t.Errorf("max_in_flight = %d, want 3", st.MaxInFlight)
+	}
+	if st.SweepWorkers < 1 {
+		t.Errorf("sweep_workers = %d", st.SweepWorkers)
+	}
+	for _, tier := range []string{"compile", "run", "graph"} {
+		if _, ok := st.Caches[tier]; !ok {
+			t.Errorf("stats missing cache tier %q", tier)
+		}
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := postRun(t, ts, `{"platform":"wse","model":"gpt2-small","batch":512,"seq":1024,"precision":"FP16"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d: %s", resp.StatusCode, body)
+	}
+	var res RunResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.TokensPerSec <= 0 || res.TFLOPS <= 0 {
+		t.Errorf("run result = %+v", res)
+	}
+	if res.Platform != "WSE-2" || res.SpecKey == "" {
+		t.Errorf("run identity = %q / %q", res.Platform, res.SpecKey)
+	}
+	if res.Allocation["PE"] <= 0 {
+		t.Errorf("allocation = %v", res.Allocation)
+	}
+}
+
+func TestRunEndpointClientErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body, wantCode string
+	}{
+		{"unknown platform", `{"platform":"tpu","model":"gpt2-small"}`, CodeBadRequest},
+		{"missing model", `{"platform":"wse"}`, CodeBadRequest},
+		{"unknown model", `{"platform":"wse","model":"gpt5"}`, CodeBadRequest},
+		{"unknown precision", `{"platform":"wse","model":"gpt2-small","precision":"int4"}`, CodeBadRequest},
+		{"unknown mode", `{"platform":"rdu","model":"gpt2-small","mode":"O7"}`, CodeBadRequest},
+		{"unknown field", `{"platform":"wse","model":"gpt2-small","bogus":1}`, CodeBadRequest},
+		{"negative batch", `{"platform":"wse","model":"gpt2-small","batch":-4}`, CodeBadRequest},
+		{"seq over max", `{"platform":"wse","model":"gpt2-small","seq":999999}`, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postRun(t, ts, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d: %s", resp.StatusCode, body)
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Fatal(err)
+			}
+			if env.Error.Code != tc.wantCode || env.Error.Message == "" {
+				t.Errorf("error = %+v", env.Error)
+			}
+		})
+	}
+}
+
+func TestRunCompileFailureIsFinding(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// 78 GPT-2 layers do not place on the WSE-2 (paper Table I's Fail row).
+	resp, body := postRun(t, ts, `{"platform":"wse","model":"gpt2-small","layers":78}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var res RunResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.FailReason == "" {
+		t.Errorf("placement failure not reported as finding: %+v", res)
+	}
+}
+
+// TestConcurrentIdenticalRunsCoalesce is the acceptance contract of
+// the serving tentpole: two concurrent identical POST /v1/run requests
+// must produce exactly one underlying compile — the second caller
+// rides the singleflight cell — observable as 1 miss + 1 hit on the
+// compile and run tiers via /v1/stats.
+func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
+	experiments.ResetCaches()
+	ts := newTestServer(t, Config{MaxInFlight: 8})
+
+	var before Stats
+	getJSON(t, ts.URL+"/v1/stats", &before)
+
+	const body = `{"platform":"rdu","model":"llama2-7b","batch":8,"seq":4096,"precision":"BF16","mode":"O1","tensor_parallel":2}`
+	var wg sync.WaitGroup
+	results := make([]RunResult, 2)
+	errs := make([]error, 2)
+	for i := range results {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&results[i])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("identical requests diverged:\n%+v\n%+v", results[0], results[1])
+	}
+
+	var after Stats
+	getJSON(t, ts.URL+"/v1/stats", &after)
+	compile := after.Caches["compile"]
+	compileBefore := before.Caches["compile"]
+	if miss := compile.Misses - compileBefore.Misses; miss != 1 {
+		t.Errorf("compile misses = %d, want exactly 1 (singleflight coalescing)", miss)
+	}
+	if hits := compile.Hits - compileBefore.Hits; hits != 1 {
+		t.Errorf("compile hits = %d, want exactly 1", hits)
+	}
+	run := after.Caches["run"]
+	runBefore := before.Caches["run"]
+	if miss := run.Misses - runBefore.Misses; miss != 1 {
+		t.Errorf("run misses = %d, want exactly 1", miss)
+	}
+	if after.Served-before.Served != 2 {
+		t.Errorf("served delta = %d, want 2", after.Served-before.Served)
+	}
+}
+
+// TestExperimentMatchesCLIRender is the second acceptance contract:
+// the served /v1/experiments/{id} body must be byte-identical to the
+// CLI's stdout for the same ID (both go through Result.Render).
+func TestExperimentMatchesCLIRender(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, id := range []string{"table1", "figure7"} {
+		ref, err := experiments.All()[id](context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text, csv bytes.Buffer
+		if err := ref.Render(&text, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Render(&csv, true); err != nil {
+			t.Fatal(err)
+		}
+
+		resp, err := http.Get(ts.URL + "/v1/experiments/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d", id, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s: content type = %q", id, ct)
+		}
+		if !bytes.Equal(body, text.Bytes()) {
+			t.Errorf("%s: served text diverges from CLI render", id)
+		}
+
+		resp, err = http.Get(ts.URL + "/v1/experiments/" + id + "?format=csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !bytes.Equal(body, csv.Bytes()) {
+			t.Errorf("%s: served CSV diverges from CLI render", id)
+		}
+
+		var recs []trace.Record
+		if resp := getJSON(t, ts.URL+"/v1/experiments/"+id+"?format=trace", &recs); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s trace: status = %d", id, resp.StatusCode)
+		}
+		if !reflect.DeepEqual(recs, ref.Trace) {
+			t.Errorf("%s: served trace records diverge", id)
+		}
+	}
+}
+
+func TestExperimentErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := getJSON(t, ts.URL+"/v1/experiments/nope", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status = %d", resp.StatusCode)
+	}
+	resp = getJSON(t, ts.URL+"/v1/experiments/table1?format=xml", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format status = %d", resp.StatusCode)
+	}
+	var list map[string][]string
+	getJSON(t, ts.URL+"/v1/experiments", &list)
+	if !reflect.DeepEqual(list["experiments"], experiments.IDs()) {
+		t.Errorf("experiment list = %v", list)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := `{"platform":"wse","model":"gpt2-small","seq":1024,"precision":"FP16","batches":[256,512],"layer_counts":[6,12]}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("sweep status = %d: %s", resp.StatusCode, b)
+	}
+	var sr SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Points != 4 || len(sr.Results) != 4 || sr.Failed != 0 {
+		t.Fatalf("sweep response = %+v", sr)
+	}
+	wantLabels := []string{"L=6/B=256/FP16", "L=6/B=512/FP16", "L=12/B=256/FP16", "L=12/B=512/FP16"}
+	for i, res := range sr.Results {
+		if res.Label != wantLabels[i] {
+			t.Errorf("result %d label = %q, want %q", i, res.Label, wantLabels[i])
+		}
+		if res.TokensPerSec <= 0 {
+			t.Errorf("result %d has no throughput: %+v", i, res)
+		}
+	}
+}
+
+func TestSweepBudget(t *testing.T) {
+	ts := newTestServer(t, Config{MaxSweepPoints: 3})
+	over := `{"platform":"wse","model":"gpt2-small","batches":[128,256,512,1024]}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(over))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("over server cap: status = %d, want 400", resp.StatusCode)
+	}
+	// A request may lower the budget below the server cap, not raise it.
+	tight := `{"platform":"wse","model":"gpt2-small","batches":[128,256],"budget":1}`
+	resp, err = http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(tight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("over request budget: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSweepRecordsPlacementFailures(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// L=72 places on the WSE-2, L=78 does not (paper Table I).
+	body := `{"platform":"wse","model":"gpt2-small","layer_counts":[72,78]}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || sr.Failed != 1 {
+		t.Fatalf("status %d, response %+v", resp.StatusCode, sr)
+	}
+	if sr.Results[0].Failed || !sr.Results[1].Failed || sr.Results[1].FailReason == "" {
+		t.Errorf("failure not in the right slot: %+v", sr.Results)
+	}
+}
+
+func TestSaturationReturns429(t *testing.T) {
+	s := New(Config{MaxInFlight: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Occupy the only slot directly — the admission gate is the unit
+	// under test, not a slow simulation.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	resp, body := postRun(t, ts, `{"platform":"wse","model":"gpt2-small"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeSaturated {
+		t.Errorf("error code = %q", env.Error.Code)
+	}
+	var st Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", st.Rejected)
+	}
+}
+
+func TestRequestTimeoutMapsTo504(t *testing.T) {
+	ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	resp := getJSON(t, ts.URL+"/v1/experiments/table1", nil)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := getJSON(t, ts.URL+"/v1/run", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run status = %d, want 405", resp.StatusCode)
+	}
+}

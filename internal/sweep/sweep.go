@@ -33,12 +33,22 @@ import (
 // "automatic" (GOMAXPROCS at call time).
 var defaultWorkers atomic.Int64
 
+// MaxWorkers is the upper clamp on the process-wide pool size. The
+// pool is CPU-bound (simulator math, no blocking I/O), so anything
+// past this is goroutine bloat, not throughput; flag validation in the
+// CLIs rejects larger values and SetDefaultWorkers clamps them.
+const MaxWorkers = 4096
+
 // SetDefaultWorkers sets the process-wide default pool size used when a
 // Map call passes no Workers option. n <= 0 restores the automatic
-// default of runtime.GOMAXPROCS(0).
+// default of runtime.GOMAXPROCS(0); n > MaxWorkers clamps to
+// MaxWorkers.
 func SetDefaultWorkers(n int) {
-	if n < 0 {
+	switch {
+	case n < 0:
 		n = 0
+	case n > MaxWorkers:
+		n = MaxWorkers
 	}
 	defaultWorkers.Store(int64(n))
 }
