@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -32,6 +33,7 @@ import (
 	"dabench/internal/platform"
 	"dabench/internal/precision"
 	"dabench/internal/report"
+	"dabench/internal/store"
 	"dabench/internal/sweep"
 	"dabench/internal/trace"
 
@@ -74,6 +76,8 @@ func runExperiments(args []string) error {
 	quiet := fs.Bool("q", false, "suppress per-experiment timing/cache stats on stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	dataDir := fs.String("data-dir", "", "persistent result-store directory (share it with dabenchd's -data-dir to reuse its results)")
+	storeBudget := fs.Int64("store-budget", 256<<20, "result-store on-disk byte budget (LRU eviction; <= 0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,6 +117,22 @@ func runExperiments(args []string) error {
 	}
 	sweep.SetDefaultWorkers(*parallel)
 	defer sweep.SetDefaultWorkers(0)
+	var st *store.Store
+	if *dataDir != "" {
+		// The CLI mounts the same content-addressed store layout the
+		// daemon uses under <data-dir>/store, so a CLI run after a
+		// daemon sweep (or vice versa) reuses the other's results.
+		var err error
+		st, err = store.Open(filepath.Join(*dataDir, "store"), *storeBudget)
+		if err != nil {
+			return err
+		}
+		experiments.SetResultStore(st)
+		defer func() {
+			experiments.SetResultStore(nil)
+			st.Close()
+		}()
+	}
 	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()
@@ -164,6 +184,12 @@ func runExperiments(args []string) error {
 		fmt.Fprintf(os.Stderr, "# total: compile cache %d/%d hits (%.0f%%) · run cache %d/%d · graph cache %d/%d across %d experiments\n",
 			total.Hits, total.Hits+total.Misses, 100*total.HitRate(),
 			run.Hits, run.Hits+run.Misses, g.Hits, g.Hits+g.Misses, len(ids))
+		if st != nil {
+			st.Snapshot() // land the write-behind queue so the gauges reflect this run
+			s := st.Stats()
+			fmt.Fprintf(os.Stderr, "# store: %d/%d hits · %d entries · %d bytes in %s\n",
+				s.Hits, s.Hits+s.Misses, s.Entries, s.Bytes, *dataDir)
+		}
 	}
 	return nil
 }

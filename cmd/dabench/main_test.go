@@ -1,6 +1,10 @@
 package main
 
 import (
+	"dabench/internal/experiments"
+	"dabench/internal/store"
+
+	dabench "dabench"
 	"os"
 	"path/filepath"
 	"strings"
@@ -136,5 +140,47 @@ func TestPickPlatformAliases(t *testing.T) {
 		if _, err := pickPlatform(name); err != nil {
 			t.Errorf("alias %q rejected: %v", name, err)
 		}
+	}
+}
+
+// TestDataDirSharesStoreAcrossRuns is the CLI half of the durability
+// story: a second CLI invocation pointed at the same -data-dir (after
+// the in-memory caches are gone, as across processes) must answer from
+// the persistent store instead of recompiling.
+func TestDataDirSharesStoreAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	experiments.ResetCaches()
+	if err := run([]string{"experiments", "-q", "-data-dir", dir, "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := filepath.Glob(filepath.Join(dir, "store", "*", "*.json")); len(entries) == 0 {
+		t.Fatal("first run persisted nothing under <data-dir>/store")
+	}
+
+	// "New process": drop every in-memory tier, keep the disk. A
+	// second CLI-style run must still succeed end to end...
+	experiments.ResetCaches()
+	if err := run([]string{"experiments", "-q", "-data-dir", dir, "table1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and a store mounted over the same dir must answer every unique
+	// table1 spec without a single miss (i.e. zero recompiles).
+	experiments.ResetCaches()
+	st2, err := store.Open(filepath.Join(dir, "store"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.SetResultStore(st2)
+	defer func() {
+		experiments.SetResultStore(nil)
+		st2.Close()
+	}()
+	if _, err := dabench.RunExperiment("table1"); err != nil {
+		t.Fatal(err)
+	}
+	s := st2.Stats()
+	if s.Hits == 0 || s.Misses != 0 {
+		t.Errorf("warm run store stats = %d hits / %d misses, want all hits", s.Hits, s.Misses)
 	}
 }

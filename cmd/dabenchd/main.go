@@ -8,10 +8,19 @@
 //
 //	dabenchd [-addr :8080] [-parallel N] [-max-inflight M]
 //	         [-timeout 2m] [-drain-timeout 15s] [-max-sweep-points 1024]
+//	         [-data-dir DIR] [-store-budget BYTES]
+//	         [-job-workers N] [-max-job-points 1048576]
+//
+// With -data-dir the daemon is durable: compile/run results persist in
+// a content-addressed store under DIR/store (so a restart answers
+// repeat specs with zero simulation), and async /v1/jobs state is
+// journaled under DIR/jobs (so a restart resumes interrupted jobs).
+// Without it everything lives and dies with the process.
 //
 // On SIGINT/SIGTERM the server drains gracefully: the listener closes,
 // in-flight requests run to completion (bounded by -drain-timeout),
-// then the process exits. See API.md for the endpoints.
+// the job manager stops, and the store flushes. See API.md for the
+// endpoints.
 package main
 
 import (
@@ -23,11 +32,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"dabench/internal/experiments"
 	"dabench/internal/server"
+	"dabench/internal/store"
 	"dabench/internal/sweep"
 )
 
@@ -46,6 +58,10 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-request deadline")
 	drain := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound after SIGTERM")
 	maxPoints := fs.Int("max-sweep-points", 1024, "hard cap on one /v1/sweep cross product")
+	dataDir := fs.String("data-dir", "", "durable state directory (result store + job journal); empty = RAM only")
+	storeBudget := fs.Int64("store-budget", 256<<20, "result-store on-disk byte budget (LRU eviction; <= 0 = unbounded)")
+	jobWorkers := fs.Int("job-workers", 0, "background sweep pool size for async jobs (0 = half of -parallel)")
+	maxJobPoints := fs.Int("max-job-points", 1<<20, "hard cap on one /v1/jobs cross product")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,17 +80,44 @@ func run(args []string) error {
 	if *maxPoints < 1 {
 		return fmt.Errorf("-max-sweep-points must be >= 1, got %d", *maxPoints)
 	}
+	if *jobWorkers < 0 || *jobWorkers > sweep.MaxWorkers {
+		return fmt.Errorf("-job-workers must be in [0, %d], got %d", sweep.MaxWorkers, *jobWorkers)
+	}
+	if *maxJobPoints < 1 {
+		return fmt.Errorf("-max-job-points must be >= 1, got %d", *maxJobPoints)
+	}
 
 	sweep.SetDefaultWorkers(*parallel)
 	inflight := *maxInflight
 	if inflight == 0 {
 		inflight = 2 * *parallel
 	}
-	h := server.New(server.Config{
-		MaxInFlight:    inflight,
-		RequestTimeout: *timeout,
-		MaxSweepPoints: *maxPoints,
-	})
+
+	cfg := server.Config{
+		MaxInFlight:     inflight,
+		RequestTimeout:  *timeout,
+		MaxSweepPoints:  *maxPoints,
+		JobSweepWorkers: *jobWorkers,
+		MaxJobPoints:    *maxJobPoints,
+	}
+	if *dataDir != "" {
+		st, err := store.Open(filepath.Join(*dataDir, "store"), *storeBudget)
+		if err != nil {
+			return err
+		}
+		defer st.Close() // flush the write-behind queue on the way out
+		experiments.SetResultStore(st)
+		defer experiments.SetResultStore(nil)
+		cfg.Store = st
+		cfg.JobsDir = filepath.Join(*dataDir, "jobs")
+		fmt.Fprintf(os.Stderr, "dabenchd: durable state in %s (%d store entries warm, budget %d bytes)\n",
+			*dataDir, st.Stats().Entries, *storeBudget)
+	}
+	h, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

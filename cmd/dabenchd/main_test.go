@@ -18,6 +18,9 @@ func TestFlagValidation(t *testing.T) {
 		{"zero timeout", []string{"-timeout", "0s"}, "-timeout"},
 		{"zero drain", []string{"-drain-timeout", "0s"}, "-timeout"},
 		{"zero sweep points", []string{"-max-sweep-points", "0"}, "-max-sweep-points"},
+		{"negative job workers", []string{"-job-workers", "-1"}, "-job-workers"},
+		{"huge job workers", []string{"-job-workers", "100000"}, "-job-workers"},
+		{"zero job points", []string{"-max-job-points", "0"}, "-max-job-points"},
 		{"stray argument", []string{"stray"}, "unexpected argument"},
 	}
 	for _, tc := range cases {

@@ -38,6 +38,7 @@ import (
 	"dabench/internal/platform"
 	"dabench/internal/precision"
 	"dabench/internal/rdu"
+	"dabench/internal/store"
 	"dabench/internal/sweep"
 	"dabench/internal/wse"
 )
@@ -70,6 +71,13 @@ type (
 	CachedPlatform = platform.CachedPlatform
 	// CacheStats is a compile-cache hit/miss snapshot.
 	CacheStats = platform.CacheStats
+	// ResultStore is the persistent L2 under the in-memory cache tiers
+	// (see OpenResultStore and CachedWithStore).
+	ResultStore = platform.ResultStore
+	// PersistentStore is the on-disk content-addressed ResultStore.
+	PersistentStore = store.Store
+	// StoreStats is a persistent store's counter/gauge snapshot.
+	StoreStats = store.Stats
 )
 
 // Precision formats (paper Table IV).
@@ -175,6 +183,29 @@ func IsCompileFailure(err error) bool { return platform.IsCompileFailure(err) }
 // are exposed via CacheStats. The simulators are deterministic and
 // stateless, so cached reports are indistinguishable from fresh ones.
 func Cached(p Platform) CachedPlatform { return platform.Cached(p) }
+
+// CachedWithStore is Cached with a persistent read-through /
+// write-behind ResultStore under the in-memory cells: compile misses
+// consult the store before simulating, and computed outcomes are
+// written behind so the next process starts warm.
+func CachedWithStore(p Platform, rs ResultStore) CachedPlatform {
+	return platform.CachedWithStore(p, rs)
+}
+
+// OpenResultStore opens (creating if needed) the on-disk
+// content-addressed result store rooted at dir — the same layout the
+// dabenchd daemon and the CLI mount under <data-dir>/store. budget
+// bounds the on-disk footprint in bytes (<= 0: unbounded); the
+// least-recently-used blobs are evicted past it. Close the store to
+// flush its write-behind queue.
+func OpenResultStore(dir string, budget int64) (*PersistentStore, error) {
+	return store.Open(dir, budget)
+}
+
+// SetResultStore installs rs as the persistent tier under the shared
+// experiment platforms (nil uninstalls it); see
+// experiments.SetResultStore for the semantics.
+func SetResultStore(rs ResultStore) { experiments.SetResultStore(rs) }
 
 // SetSweepWorkers sets the process-wide sweep pool size used by the
 // Tier-2 analyses and experiment runners (the CLI's -parallel flag).

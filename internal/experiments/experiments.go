@@ -63,11 +63,12 @@ type Runner func(ctx context.Context) (*Result, error)
 // --- Shared memoized platforms ---------------------------------------------
 
 var (
-	platMu    sync.RWMutex
-	cachedWSE = platform.Cached(wse.New())
-	cachedRDU = platform.Cached(rdu.New())
-	cachedIPU = platform.Cached(ipu.New())
-	cachedGPU = platform.Cached(gpu.New())
+	platMu      sync.RWMutex
+	resultStore platform.ResultStore // persistent L2 under every tier; nil = RAM only
+	cachedWSE   = platform.Cached(wse.New())
+	cachedRDU   = platform.Cached(rdu.New())
+	cachedIPU   = platform.Cached(ipu.New())
+	cachedGPU   = platform.Cached(gpu.New())
 )
 
 func wsePlat() platform.CachedPlatform { platMu.RLock(); defer platMu.RUnlock(); return cachedWSE }
@@ -75,17 +76,38 @@ func rduPlat() platform.CachedPlatform { platMu.RLock(); defer platMu.RUnlock();
 func ipuPlat() platform.CachedPlatform { platMu.RLock(); defer platMu.RUnlock(); return cachedIPU }
 func gpuPlat() platform.CachedPlatform { platMu.RLock(); defer platMu.RUnlock(); return cachedGPU }
 
-// ResetCaches discards every memoization tier the runners share — the
-// platform compile/run caches and the graph build cache below them —
-// and zeroes all counters. Benchmarks use it for cold-cache iterations.
+// ResetCaches discards every in-memory memoization tier the runners
+// share — the platform compile/run caches and the graph build cache
+// below them — and zeroes all counters. Benchmarks use it for
+// cold-cache iterations. The persistent result store, if one is
+// installed, survives: it is the durable tier, dropped only by
+// SetResultStore(nil) or deleting the data directory.
 func ResetCaches() {
 	platMu.Lock()
 	defer platMu.Unlock()
-	cachedWSE = platform.Cached(wse.New())
-	cachedRDU = platform.Cached(rdu.New())
-	cachedIPU = platform.Cached(ipu.New())
-	cachedGPU = platform.Cached(gpu.New())
+	rebuildLocked()
 	graph.ResetCache()
+}
+
+// SetResultStore installs rs as the persistent read-through /
+// write-behind L2 under every shared platform's compile and run tiers
+// (nil uninstalls it). The in-memory cells are rebuilt empty: entries
+// already computed are either in rs (warm again after one lookup) or
+// recomputable. Both dabenchd and the CLI's -data-dir route through
+// this one seam, which is what lets a CLI run after a daemon sweep hit
+// the daemon's persisted results.
+func SetResultStore(rs platform.ResultStore) {
+	platMu.Lock()
+	defer platMu.Unlock()
+	resultStore = rs
+	rebuildLocked()
+}
+
+func rebuildLocked() {
+	cachedWSE = platform.CachedWithStore(wse.New(), resultStore)
+	cachedRDU = platform.CachedWithStore(rdu.New(), resultStore)
+	cachedIPU = platform.CachedWithStore(ipu.New(), resultStore)
+	cachedGPU = platform.CachedWithStore(gpu.New(), resultStore)
 }
 
 // CacheStats aggregates the compile-cache counters across the four

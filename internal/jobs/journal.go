@@ -1,0 +1,157 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Journal events, one per job state transition (plus progress beats
+// and the cancel-intent marker).
+const (
+	eventSubmitted = "submitted"
+	eventRunning   = "running"
+	eventProgress  = "progress"
+	eventDone      = "done"
+	eventFailed    = "failed"
+	eventCancelled = "cancelled"
+	// eventCancelRequested records an acknowledged DELETE on a running
+	// job before the executor observes it: if the process dies in that
+	// window, replay honors the cancellation instead of resurrecting
+	// the job.
+	eventCancelRequested = "cancel_requested"
+)
+
+// record is one journal line. The submitted record carries the
+// verbatim request so replay can re-execute it; terminal records carry
+// the final counters the views report.
+type record struct {
+	Job     string          `json:"job"`
+	Event   string          `json:"event"`
+	Time    time.Time       `json:"time"`
+	Points  int             `json:"points,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+	Done    int             `json:"done,omitempty"`
+	Failed  int             `json:"failed,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// journal is the append-only JSONL log. One writer (the manager, under
+// its own locking for ordering) appends whole lines; fsync is reserved
+// for records replay correctness depends on.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(r record, sync bool) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return // a record that cannot marshal is a programming error; never wedge the pipeline on it
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	// A failed append degrades durability, not liveness: the in-memory
+	// state machine stays authoritative for this process's lifetime.
+	if _, err := j.f.Write(data); err != nil {
+		return
+	}
+	if sync {
+		_ = j.f.Sync()
+	}
+}
+
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		_ = j.f.Sync()
+		_ = j.f.Close()
+		j.f = nil
+	}
+}
+
+// readJournal replays path into its records, tolerating torn writes: a
+// line that does not parse as a record (a crash mid-append, a partial
+// flush) is skipped and counted, never fatal. A missing journal is an
+// empty one.
+func readJournal(path string) (recs []record, torn int, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("jobs: journal: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 16<<20) // submitted records carry whole requests
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || r.Job == "" || r.Event == "" {
+			torn++
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		// An unreadable tail (e.g. a line over the buffer cap) is torn,
+		// not fatal — everything scanned before it still replays.
+		if err == bufio.ErrTooLong || err == io.ErrUnexpectedEOF {
+			torn++
+			return recs, torn, nil
+		}
+		return nil, torn, fmt.Errorf("jobs: journal: %w", err)
+	}
+	return recs, torn, nil
+}
+
+// writeFileAtomic writes data to path via a temp file + rename so a
+// crash never leaves a half-written result blob at the final name.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		if serr != nil {
+			return serr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -65,6 +65,29 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	return e.val, e.err
 }
 
+// Seed inserts a pre-resolved successful entry for key — a value
+// recovered from a persistent tier rather than computed. It counts as
+// neither hit nor miss (the persistent tier keeps its own counters) and
+// is a no-op when the key is already present, computed or in flight:
+// an outcome the cell already owns always wins over a recovered one.
+func (c *Cache[K, V]) Seed(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	e := &entry[V]{done: make(chan struct{}), val: val}
+	close(e.done)
+	c.entries[key] = e
+}
+
+// Len returns the number of resolved or in-flight entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
 // Stats returns the current hit/miss counters.
 func (c *Cache[K, V]) Stats() cachestats.Stats {
 	return cachestats.Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}

@@ -53,20 +53,11 @@ type CachedPlatform interface {
 //
 // If p natively computes load imbalance (Imbalancer), the wrapper
 // forwards it so core.Profile keeps using the operator-level path.
-func Cached(p Platform) CachedPlatform {
-	c := &cached{
-		p:       p,
-		compile: memo.New[string, *CompileReport](),
-		run:     memo.New[*CompileReport, *RunReport](),
-	}
-	if li, ok := p.(Imbalancer); ok {
-		return &cachedImbalancer{cached: c, li: li}
-	}
-	return c
-}
+func Cached(p Platform) CachedPlatform { return CachedWithStore(p, nil) }
 
 type cached struct {
 	p       Platform
+	rs      ResultStore // optional persistent L2; nil = RAM only
 	compile *memo.Cache[string, *CompileReport]
 	run     *memo.Cache[*CompileReport, *RunReport]
 }
@@ -76,14 +67,43 @@ func (c *cached) HardwareSpec() Spec { return c.p.HardwareSpec() }
 func (c *cached) Unwrap() Platform   { return c.p }
 
 func (c *cached) Compile(spec TrainSpec) (*CompileReport, error) {
-	return c.compile.Do(spec.Key(), func() (*CompileReport, error) {
-		return c.p.Compile(spec)
+	key := spec.Key()
+	return c.compile.Do(key, func() (*CompileReport, error) {
+		if c.rs != nil {
+			if st, ok := c.rs.Load(c.p.Name(), key); ok {
+				if st.Failed {
+					return nil, &CompileError{Platform: c.p.Name(), Reason: st.FailReason}
+				}
+				if st.Run != nil {
+					// The run report rides along; seed the run cell so
+					// Run on this report is a pure lookup too.
+					c.run.Seed(st.Compile, st.Run)
+				}
+				return st.Compile, nil
+			}
+		}
+		cr, err := c.p.Compile(spec)
+		if c.rs != nil {
+			switch {
+			case err == nil:
+				c.rs.Store(c.p.Name(), key, Stored{Compile: cr})
+			case IsCompileFailure(err):
+				// Placement failures are deterministic findings, worth
+				// persisting; validation errors are cheap to rediscover.
+				c.rs.Store(c.p.Name(), key, Stored{Failed: true, FailReason: err.(*CompileError).Reason})
+			}
+		}
+		return cr, err
 	})
 }
 
 func (c *cached) Run(cr *CompileReport) (*RunReport, error) {
 	return c.run.Do(cr, func() (*RunReport, error) {
-		return c.p.Run(cr)
+		rr, err := c.p.Run(cr)
+		if err == nil && c.rs != nil {
+			c.rs.Store(c.p.Name(), cr.Spec.Key(), Stored{Compile: cr, Run: rr})
+		}
+		return rr, err
 	})
 }
 

@@ -1,0 +1,138 @@
+package platform
+
+import (
+	"sync"
+	"testing"
+)
+
+// mapStore is an in-memory ResultStore: the wrapper-mechanics tests
+// don't need a disk (internal/store has its own durability suite).
+type mapStore struct {
+	mu      sync.Mutex
+	entries map[string]Stored
+	loads   int
+}
+
+func newMapStore() *mapStore { return &mapStore{entries: map[string]Stored{}} }
+
+func (m *mapStore) key(p, k string) string { return p + "\x00" + k }
+
+func (m *mapStore) Load(p, k string) (Stored, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loads++
+	s, ok := m.entries[m.key(p, k)]
+	return s, ok
+}
+
+func (m *mapStore) Store(p, k string, s Stored) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[m.key(p, k)] = s
+}
+
+// TestStoreBackedRestartSkipsCompile is the warm-restart contract at
+// the wrapper level: a second "process" (fresh memo cells over a fresh
+// simulator) sharing the first one's ResultStore must answer the same
+// spec with zero Compile and zero Run calls.
+func TestStoreBackedRestartSkipsCompile(t *testing.T) {
+	rs := newMapStore()
+	spec := testSpec(8)
+
+	first := &countingPlatform{}
+	c1 := CachedWithStore(first, rs)
+	cr1, err := c1.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr1, err := c1.Run(cr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := &countingPlatform{}
+	c2 := CachedWithStore(second, rs)
+	cr2, err := c2.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr2, err := c2.Run(cr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.compiles.Load() != 0 || second.runs.Load() != 0 {
+		t.Errorf("restart recomputed: %d compiles, %d runs, want 0/0",
+			second.compiles.Load(), second.runs.Load())
+	}
+	if cr2.Spec.Key() != cr1.Spec.Key() || rr2.TokensPerSec != rr1.TokensPerSec {
+		t.Errorf("restored reports diverge: %+v vs %+v", rr2, rr1)
+	}
+	if rr2.Compile != cr2 {
+		t.Error("restored run report not linked to restored compile report")
+	}
+}
+
+// TestStoreBackedPersistsPlacementFailure: the paper's "Fail" entries
+// are deterministic findings, so a restart must reproduce the
+// CompileError from the store without consulting the simulator.
+func TestStoreBackedPersistsPlacementFailure(t *testing.T) {
+	rs := newMapStore()
+	spec := testSpec(8)
+
+	first := &countingPlatform{fail: true}
+	if _, err := CachedWithStore(first, rs).Compile(spec); !IsCompileFailure(err) {
+		t.Fatalf("want compile failure, got %v", err)
+	}
+
+	second := &countingPlatform{fail: true}
+	_, err := CachedWithStore(second, rs).Compile(spec)
+	if !IsCompileFailure(err) {
+		t.Fatalf("restart lost the failure: %v", err)
+	}
+	if second.compiles.Load() != 0 {
+		t.Errorf("restart re-ran a persisted failing compile %d times", second.compiles.Load())
+	}
+}
+
+// TestStoreBackedWritesBehind: a cold compile+run lands in the store
+// (compile-only first, then with the run report).
+func TestStoreBackedWritesBehind(t *testing.T) {
+	rs := newMapStore()
+	under := &countingPlatform{}
+	c := CachedWithStore(under, rs)
+	spec := testSpec(8)
+
+	cr, err := c.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := rs.entries[rs.key("fake", spec.Key())]
+	if !ok || st.Compile == nil || st.Run != nil {
+		t.Fatalf("after compile: stored = %+v, %v (want compile-only)", st, ok)
+	}
+	if _, err := c.Run(cr); err != nil {
+		t.Fatal(err)
+	}
+	st = rs.entries[rs.key("fake", spec.Key())]
+	if st.Run == nil {
+		t.Fatalf("after run: stored entry lacks the run report: %+v", st)
+	}
+}
+
+// TestCachedWithNilStoreIsPlainCached guards the default path: Cached
+// must behave exactly as before the L2 existed.
+func TestCachedWithNilStoreIsPlainCached(t *testing.T) {
+	under := &countingPlatform{}
+	c := CachedWithStore(under, nil)
+	cr, err := c.Compile(testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(cr); err != nil {
+		t.Fatal(err)
+	}
+	if under.compiles.Load() != 1 || under.runs.Load() != 1 {
+		t.Errorf("nil-store wrapper: %d compiles / %d runs, want 1/1",
+			under.compiles.Load(), under.runs.Load())
+	}
+}

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"dabench/internal/jobs"
+	"dabench/internal/platform"
+	"dabench/internal/report"
+	"dabench/internal/sweep"
+)
+
+// jobChunk is how many points one journal/progress beat covers: large
+// enough to amortize the bookkeeping, small enough that progress and
+// cancellation stay responsive.
+const jobChunk = 256
+
+// handleJobSubmit accepts a SweepRequest of (nearly) any size for
+// asynchronous execution: validation is synchronous and strict — a bad
+// request must fail at submission, not hours later in the executor —
+// but the cross product is only counted, never materialized.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "read body: "+err.Error())
+		return
+	}
+	req, err := decodeSweepRequest(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	a, err := req.axes()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	n := a.product()
+	if n > int64(s.cfg.MaxJobPoints) {
+		writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: ErrorBody{
+			Code:            CodeSweepTooLarge,
+			Message:         fmt.Sprintf("job of %d points exceeds the job cap of %d", n, s.cfg.MaxJobPoints),
+			Limit:           s.cfg.MaxJobPoints,
+			RequestedPoints: n,
+		}})
+		return
+	}
+
+	// Journal the raw body, not a re-marshaled struct: replay must
+	// re-execute exactly what the client sent.
+	v, err := s.jobs.Submit(json.RawMessage(raw), int(n))
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, "job queue is full; retry later")
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, CodeInternal, "job manager is shut down")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+v.ID)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// decodeSweepRequest parses raw strictly (unknown fields and trailing
+// data are client errors), mirroring the synchronous path's decode.
+func decodeSweepRequest(raw []byte) (SweepRequest, error) {
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("decode body: %w", err)
+	}
+	if dec.More() {
+		return req, errors.New("decode body: trailing data after JSON value")
+	}
+	return req, nil
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]jobs.View{"jobs": s.jobs.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+strconv.Quote(id))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "csv", "table":
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"unknown format "+strconv.Quote(format)+" (valid: csv, table, or empty for JSON)")
+		return
+	}
+	raw, err := s.jobs.Result(id)
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+strconv.Quote(id))
+		return
+	case errors.Is(err, jobs.ErrNotFinished):
+		writeError(w, http.StatusConflict, CodeNotReady, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	if format == "" {
+		// The stored document is the /v1/sweep encoder's exact output;
+		// serving the bytes untouched keeps async results byte-identical
+		// to their synchronous equivalents.
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+		return
+	}
+
+	var resp SweepResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "stored result corrupt: "+err.Error())
+		return
+	}
+	tbl := report.New(fmt.Sprintf("Job %s — %s, %d points, %d failed", id, resp.Platform, resp.Points, resp.Failed),
+		"Label", "Status", "Step time s", "Tokens/s", "TFLOPS", "Efficiency")
+	for _, res := range resp.Results {
+		if res.Failed {
+			tbl.Add(res.Label, "Fail", "-", "-", "-", "-")
+			continue
+		}
+		tbl.Add(res.Label, "ok", report.F(res.StepTimeSec), report.F(res.TokensPerSec),
+			report.F(res.TFLOPS), report.F(res.Efficiency))
+	}
+	var buf bytes.Buffer
+	var rerr error
+	if format == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		rerr = tbl.WriteCSV(&buf)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rerr = tbl.WriteText(&buf)
+	}
+	if rerr != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, rerr.Error())
+		return
+	}
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := s.jobs.Cancel(id)
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+strconv.Quote(id))
+		return
+	case errors.Is(err, jobs.ErrFinished):
+		writeError(w, http.StatusConflict, CodeConflict,
+			fmt.Sprintf("job %s already finished (%s)", id, v.State))
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// runJob is the jobs.RunFunc: execute one journaled SweepRequest on
+// the background pool, chunk by chunk. Each chunk re-derives its specs
+// from the axes (the full product is never materialized), fans out on
+// sweep.MapN with the dedicated job pool size, and reports cumulative
+// progress. The assembled result is encoded exactly as the synchronous
+// sweep handler encodes its response.
+func (s *Server) runJob(ctx context.Context, raw json.RawMessage, progress func(done, failed int)) (json.RawMessage, error) {
+	req, err := decodeSweepRequest(raw)
+	if err != nil {
+		return nil, err
+	}
+	a, err := req.axes()
+	if err != nil {
+		return nil, err
+	}
+	n := int(a.product())
+	if n > s.cfg.MaxJobPoints {
+		// Replayed from a journal written under a larger cap.
+		return nil, fmt.Errorf("job of %d points exceeds the job cap of %d", n, s.cfg.MaxJobPoints)
+	}
+
+	resp := SweepResponse{Platform: a.p.Name(), Points: n}
+	resp.Results = make([]RunResult, 0, n)
+	for lo := 0; lo < n; lo += jobChunk {
+		hi := min(lo+jobChunk, n)
+		outs, err := sweep.MapN(ctx, hi-lo, func(_ context.Context, i int) (RunResult, error) {
+			spec, _, err := a.point(lo + i)
+			if err != nil {
+				return RunResult{}, err
+			}
+			return runPoint(a.p, spec)
+		}, sweep.Workers(s.cfg.JobSweepWorkers), sweep.Tolerating(platform.IsCompileFailure))
+		if err != nil {
+			return nil, err
+		}
+		for i, o := range outs {
+			spec, label, _ := a.point(lo + i)
+			res := o.Value
+			if o.Failed() {
+				res = result(a.p, spec, nil, nil)
+				res.Failed, res.FailReason = true, o.Err.Error()
+				resp.Failed++
+			}
+			res.Label = label
+			resp.Results = append(resp.Results, res)
+		}
+		progress(hi, resp.Failed)
+	}
+
+	// Encode with the same settings writeJSON uses so the stored bytes
+	// equal a synchronous response body for the same points.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

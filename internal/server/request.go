@@ -73,10 +73,15 @@ type RunResult struct {
 	Notes            []string           `json:"notes,omitempty"`
 }
 
-// ErrorBody is the uniform error envelope payload.
+// ErrorBody is the uniform error envelope payload. Limit and
+// RequestedPoints are populated on sweep-budget rejections so clients
+// learn the cap and their overshoot without parsing the message.
 type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code            string `json:"code"`
+	Message         string `json:"message"`
+	Limit           int    `json:"limit,omitempty"`
+	RequestedPoints int64  `json:"requested_points,omitempty"`
+	Hint            string `json:"hint,omitempty"`
 }
 
 type errorEnvelope struct {
@@ -85,12 +90,30 @@ type errorEnvelope struct {
 
 // Error codes of the envelope.
 const (
-	CodeBadRequest = "bad_request"
-	CodeNotFound   = "not_found"
-	CodeSaturated  = "saturated"
-	CodeTimeout    = "timeout"
-	CodeInternal   = "internal"
+	CodeBadRequest    = "bad_request"
+	CodeNotFound      = "not_found"
+	CodeSaturated     = "saturated"
+	CodeTimeout       = "timeout"
+	CodeInternal      = "internal"
+	CodeSweepTooLarge = "sweep_too_large"
+	CodeNotReady      = "not_ready"
+	CodeConflict      = "conflict"
+	CodeQueueFull     = "queue_full"
 )
+
+// BudgetError is a sweep cross product over the request's point
+// budget: a structured rejection, so the response can name both the
+// limit and the requested size (and point at /v1/jobs, which has no
+// synchronous cap).
+type BudgetError struct {
+	Points int64
+	Budget int
+}
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sweep of %d points exceeds the budget of %d", e.Points, e.Budget)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -186,67 +209,104 @@ func (req RunRequest) resolve() (platform.CachedPlatform, platform.TrainSpec, er
 	return p, spec, nil
 }
 
-// points expands the sweep axes into the cross-product of specs, in
-// deterministic layer-major → batch → precision order (the order the
-// response's results array follows). The cross product is checked
-// against budget arithmetically, before any expansion: one request
-// with three large axes must fail cheaply, not materialize the
-// product and take the process down with it.
-func (req SweepRequest) points(budget int) (platform.CachedPlatform, []platform.TrainSpec, []string, error) {
+// sweepAxes is a validated sweep cross product in unexpanded form:
+// the i-th point is derived on demand, so arbitrarily large products
+// (async jobs walk them chunk by chunk) never materialize whole.
+type sweepAxes struct {
+	p       platform.CachedPlatform
+	base    platform.TrainSpec
+	layers  []int
+	batches []int
+	formats []precision.Format
+}
+
+// axes validates the request and its axis values without expanding the
+// cross product. All errors are client errors.
+func (req SweepRequest) axes() (*sweepAxes, error) {
 	p, base, err := req.RunRequest.resolve()
+	if err != nil {
+		return nil, err
+	}
+	a := &sweepAxes{p: p, base: base, layers: req.LayerCounts, batches: req.Batches}
+	if len(a.layers) == 0 {
+		a.layers = []int{base.Model.NumLayers}
+	}
+	if len(a.batches) == 0 {
+		a.batches = []int{base.Batch}
+	}
+	for _, l := range a.layers {
+		if l <= 0 {
+			return nil, fmt.Errorf("sweep axes must be positive (layer %d)", l)
+		}
+	}
+	for _, b := range a.batches {
+		if b <= 0 {
+			return nil, fmt.Errorf("sweep axes must be positive (batch %d)", b)
+		}
+	}
+	if len(req.Precisions) == 0 {
+		a.formats = []precision.Format{base.Precision}
+	} else {
+		a.formats = make([]precision.Format, 0, len(req.Precisions))
+		for _, s := range req.Precisions {
+			f, err := precision.Parse(s)
+			if err != nil {
+				return nil, err
+			}
+			a.formats = append(a.formats, f)
+		}
+	}
+	return a, nil
+}
+
+// product is the cross-product size. Axis lengths are bounded by the
+// body cap (~1e5 each), so the 3-way product cannot overflow int64.
+func (a *sweepAxes) product() int64 {
+	return int64(len(a.layers)) * int64(len(a.batches)) * int64(len(a.formats))
+}
+
+// point derives the i-th spec and label in deterministic layer-major →
+// batch → precision order (the order every results array follows).
+func (a *sweepAxes) point(i int) (platform.TrainSpec, string, error) {
+	nf, nb := len(a.formats), len(a.batches)
+	l := a.layers[i/(nb*nf)]
+	b := a.batches[(i/nf)%nb]
+	f := a.formats[i%nf]
+	spec := a.base
+	spec.Model = spec.Model.WithLayers(l)
+	spec.Batch = b
+	spec.Precision = f
+	if err := spec.Validate(); err != nil {
+		return spec, "", err
+	}
+	return spec, fmt.Sprintf("L=%d/B=%d/%s", l, b, f), nil
+}
+
+// points expands the sweep into specs and labels after checking the
+// product against budget arithmetically — one request with three
+// large axes must fail cheaply, not materialize the product and take
+// the process down with it. Over-budget requests return a *BudgetError
+// so the handler can answer with the structured rejection.
+func (req SweepRequest) points(budget int) (platform.CachedPlatform, []platform.TrainSpec, []string, error) {
+	a, err := req.axes()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	layers := req.LayerCounts
-	if len(layers) == 0 {
-		layers = []int{base.Model.NumLayers}
+	n := a.product()
+	if n > int64(budget) {
+		return nil, nil, nil, &BudgetError{Points: n, Budget: budget}
 	}
-	batches := req.Batches
-	if len(batches) == 0 {
-		batches = []int{base.Batch}
-	}
-	nFormats := len(req.Precisions)
-	if nFormats == 0 {
-		nFormats = 1
-	}
-	// Axis lengths are bounded by the body cap (~1e5 each), so the
-	// 3-way product cannot overflow int64 arithmetic.
-	if product := int64(len(layers)) * int64(len(batches)) * int64(nFormats); product > int64(budget) {
-		return nil, nil, nil, fmt.Errorf("sweep of %d points exceeds the budget of %d", product, budget)
-	}
-	formats := make([]precision.Format, 0, nFormats)
-	if len(req.Precisions) == 0 {
-		formats = append(formats, base.Precision)
-	}
-	for _, s := range req.Precisions {
-		f, err := precision.Parse(s)
+	specs := make([]platform.TrainSpec, 0, n)
+	labels := make([]string, 0, n)
+	for i := 0; i < int(n); i++ {
+		spec, label, err := a.point(i)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		formats = append(formats, f)
+		specs = append(specs, spec)
+		labels = append(labels, label)
 	}
-
-	specs := make([]platform.TrainSpec, 0, len(layers)*len(batches)*len(formats))
-	labels := make([]string, 0, cap(specs))
-	for _, l := range layers {
-		for _, b := range batches {
-			for _, f := range formats {
-				spec := base
-				if l <= 0 || b <= 0 {
-					return nil, nil, nil, fmt.Errorf("sweep axes must be positive (layer %d, batch %d)", l, b)
-				}
-				spec.Model = spec.Model.WithLayers(l)
-				spec.Batch = b
-				spec.Precision = f
-				if err := spec.Validate(); err != nil {
-					return nil, nil, nil, err
-				}
-				specs = append(specs, spec)
-				labels = append(labels, fmt.Sprintf("L=%d/B=%d/%s", l, b, f))
-			}
-		}
-	}
-	return p, specs, labels, nil
+	return a.p, specs, labels, nil
 }
 
 // result assembles the wire form of one compile+run outcome.

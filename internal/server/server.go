@@ -38,7 +38,9 @@ import (
 
 	"dabench/internal/cachestats"
 	"dabench/internal/experiments"
+	"dabench/internal/jobs"
 	"dabench/internal/platform"
+	"dabench/internal/store"
 	"dabench/internal/sweep"
 )
 
@@ -53,9 +55,27 @@ type Config struct {
 	// RequestTimeout is the per-request deadline threaded into every
 	// sweep (default 2m).
 	RequestTimeout time.Duration
-	// MaxSweepPoints caps one /v1/sweep request's cross product
-	// (default 1024). A request's own budget may only lower it.
+	// MaxSweepPoints caps one synchronous /v1/sweep request's cross
+	// product (default 1024). A request's own budget may only lower
+	// it; larger sweeps belong on POST /v1/jobs.
 	MaxSweepPoints int
+
+	// Store is the persistent result store whose counters /v1/stats
+	// reports (the wiring into the pipeline itself happens via
+	// experiments.SetResultStore). Nil when serving RAM-only.
+	Store *store.Store
+
+	// JobsDir is the job journal/results directory; "" runs the job
+	// subsystem ephemeral (full lifecycle, no restart durability).
+	JobsDir string
+	// JobSweepWorkers is the background pool size each async job's
+	// sweeps fan out on (default: half the process sweep pool, min 1 —
+	// batch work must not starve interactive requests).
+	JobSweepWorkers int
+	// MaxJobPoints caps one job's cross product (default 1<<20). Jobs
+	// hold their full result in memory while accumulating, so this is
+	// a memory bound, not a latency one.
+	MaxJobPoints int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,11 +88,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 1024
 	}
+	if c.JobSweepWorkers <= 0 {
+		c.JobSweepWorkers = max(1, sweep.DefaultWorkers()/2)
+	}
+	if c.MaxJobPoints <= 0 {
+		c.MaxJobPoints = 1 << 20
+	}
 	return c
 }
 
 // Stats is the /v1/stats payload: serving counters plus a snapshot of
-// every cache tier the pipeline runs on.
+// every cache tier the pipeline runs on, the persistent store's
+// counters (when one is mounted) and the job manager's gauges.
 type Stats struct {
 	InFlight     int64                          `json:"in_flight"`
 	Served       int64                          `json:"served"`
@@ -81,14 +108,17 @@ type Stats struct {
 	SweepWorkers int                            `json:"sweep_workers"`
 	UptimeSec    float64                        `json:"uptime_sec"`
 	Caches       map[string]cachestats.Snapshot `json:"caches"`
+	Store        *store.Stats                   `json:"store,omitempty"`
+	Jobs         *jobs.Gauges                   `json:"jobs,omitempty"`
 }
 
 // Server is the dabenchd HTTP handler. Create with New; the zero value
 // is not usable.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
-	sem chan struct{}
+	cfg  Config
+	mux  *http.ServeMux
+	sem  chan struct{}
+	jobs *jobs.Manager
 
 	inFlight atomic.Int64
 	served   atomic.Int64
@@ -96,8 +126,10 @@ type Server struct {
 	start    time.Time
 }
 
-// New builds a Server over the process-wide cached platform set.
-func New(cfg Config) *Server {
+// New builds a Server over the process-wide cached platform set,
+// opening (and, when JobsDir is set, replaying) the async job manager.
+// Callers own Close.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -105,14 +137,32 @@ func New(cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
 	}
+	jm, err := jobs.Open(jobs.Config{Dir: cfg.JobsDir, Run: s.runJob})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = jm
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/run", s.admit(s.handleRun))
 	s.mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.admit(s.handleExperiment))
-	return s
+	// Job endpoints skip the admission gate on purpose: submission and
+	// observation are cheap, and the executor's background pool — not
+	// the in-flight semaphore — is the bounded resource.
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	return s, nil
 }
+
+// Close stops the job manager (running jobs are interrupted; with a
+// JobsDir they revive on the next boot). The HTTP listener's drain is
+// the caller's http.Server.Shutdown, done before this.
+func (s *Server) Close() { s.jobs.Close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -152,7 +202,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, Stats{
+	st := Stats{
 		InFlight:     s.inFlight.Load(),
 		Served:       s.served.Load(),
 		Rejected:     s.rejected.Load(),
@@ -164,7 +214,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"run":     experiments.RunCacheStats().Snapshot(),
 			"graph":   experiments.GraphCacheStats().Snapshot(),
 		},
-	})
+	}
+	if s.cfg.Store != nil {
+		snap := s.cfg.Store.Stats()
+		st.Store = &snap
+	}
+	gauges := s.jobs.Stats()
+	st.Jobs = &gauges
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -236,21 +293,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	p, specs, labels, err := req.points(budget)
 	if err != nil {
+		var be *BudgetError
+		if errors.As(err, &be) {
+			writeBudgetError(w, be)
+			return
+		}
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 
 	outs, err := sweep.Map(r.Context(), specs,
 		func(_ context.Context, _ int, spec platform.TrainSpec) (RunResult, error) {
-			cr, err := p.Compile(spec)
-			if err != nil {
-				return RunResult{}, err // placement failures tolerated by default
-			}
-			rr, err := p.Run(cr)
-			if err != nil {
-				return RunResult{}, err
-			}
-			return result(p, spec, cr, rr), nil
+			return runPoint(p, spec)
 		})
 	if err != nil {
 		s.writeRunError(w, err)
@@ -270,6 +324,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = res
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// runPoint is one sweep point's compile+run — the unit shared by the
+// synchronous sweep handler and the async job executor, so the two
+// paths cannot drift (job results are byte-identical to sync sweeps of
+// the same specs by construction).
+func runPoint(p platform.CachedPlatform, spec platform.TrainSpec) (RunResult, error) {
+	cr, err := p.Compile(spec)
+	if err != nil {
+		return RunResult{}, err // placement failures tolerated by default
+	}
+	rr, err := p.Run(cr)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return result(p, spec, cr, rr), nil
+}
+
+// writeBudgetError answers an over-budget synchronous sweep: 429 with
+// the structured envelope naming the cap and the requested size, plus
+// the escape hatch for legitimate large sweeps.
+func writeBudgetError(w http.ResponseWriter, be *BudgetError) {
+	writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: ErrorBody{
+		Code:            CodeSweepTooLarge,
+		Message:         be.Error(),
+		Limit:           be.Budget,
+		RequestedPoints: be.Points,
+		Hint:            "submit large sweeps asynchronously via POST /v1/jobs",
+	}})
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {

@@ -20,7 +20,12 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(cfg))
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -314,6 +319,9 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 }
 
+// TestSweepBudget pins the budget-rejection contract: an over-budget
+// synchronous sweep is refused with a structured JSON error naming the
+// limit and the requested point count, never an empty body.
 func TestSweepBudget(t *testing.T) {
 	ts := newTestServer(t, Config{MaxSweepPoints: 3})
 	over := `{"platform":"wse","model":"gpt2-small","batches":[128,256,512,1024]}`
@@ -321,19 +329,39 @@ func TestSweepBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("over server cap: status = %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over server cap: status = %d, want 429", resp.StatusCode)
 	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("budget rejection is not JSON: %q (%v)", body, err)
+	}
+	if env.Error.Code != CodeSweepTooLarge || env.Error.Limit != 3 || env.Error.RequestedPoints != 4 {
+		t.Errorf("budget rejection = %+v, want code=%s limit=3 requested=4", env.Error, CodeSweepTooLarge)
+	}
+	if !strings.Contains(env.Error.Message, "4") || !strings.Contains(env.Error.Message, "3") {
+		t.Errorf("message does not name the counts: %q", env.Error.Message)
+	}
+	if env.Error.Hint == "" {
+		t.Error("budget rejection lacks the /v1/jobs hint")
+	}
+
 	// A request may lower the budget below the server cap, not raise it.
 	tight := `{"platform":"wse","model":"gpt2-small","batches":[128,256],"budget":1}`
 	resp, err = http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(tight))
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("over request budget: status = %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over request budget: status = %d, want 429", resp.StatusCode)
+	}
+	env = errorEnvelope{}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Limit != 1 || env.Error.RequestedPoints != 2 {
+		t.Errorf("tight-budget rejection = %+v (%v)", env.Error, err)
 	}
 }
 
@@ -359,7 +387,11 @@ func TestSweepRecordsPlacementFailures(t *testing.T) {
 }
 
 func TestSaturationReturns429(t *testing.T) {
-	s := New(Config{MaxInFlight: 1})
+	s, err := New(Config{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 

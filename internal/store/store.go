@@ -1,0 +1,441 @@
+// Package store is the persistent, content-addressed result store —
+// the durable L2 tier under the in-memory graph/compile/run memo
+// cells. Every cache tier above it is process RAM: a daemon restart
+// used to recompile the world. The store keeps compile reports and run
+// findings on disk as versioned JSON blobs, so a restarted dabenchd
+// (or a CLI run pointed at the same -data-dir) answers identical specs
+// with zero simulation.
+//
+// Addressing: a blob's name is the SHA-256 of the pipeline version,
+// the platform name and the spec's canonical TrainSpec.Key — the full
+// content address of one pipeline outcome. Blobs live in a sharded
+// directory tree (first hex byte of the hash names the shard) so no
+// single directory grows unboundedly.
+//
+// Versioning/invalidation rule: PipelineVersion participates in every
+// address. Bump it whenever simulator outputs change shape or value
+// for the same spec; old blobs then simply stop being addressed (and
+// age out via the size budget) instead of poisoning the new pipeline
+// with stale results.
+//
+// Durability posture: reads are synchronous (read-through), writes are
+// behind — Store enqueues to a single writer goroutine and returns.
+// Snapshot flushes the queue, giving callers a point on the timeline
+// where everything computed so far is on disk. Corruption never
+// propagates: a blob that fails to decode or verify is deleted and
+// reported as a miss, because the pipeline can always recompute.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"dabench/internal/platform"
+)
+
+// PipelineVersion is the invalidation epoch baked into every blob
+// address and payload. Bump on any change to simulator semantics,
+// report shapes, or TrainSpec.Key composition.
+const PipelineVersion = 1
+
+// blob is the on-disk wire form of one platform.Stored outcome, framed
+// with enough identity to verify the content address on load.
+type blob struct {
+	Version    int                     `json:"version"`
+	Platform   string                  `json:"platform"`
+	SpecKey    string                  `json:"spec_key"`
+	Failed     bool                    `json:"failed,omitempty"`
+	FailReason string                  `json:"fail_reason,omitempty"`
+	Compile    *platform.CompileReport `json:"compile,omitempty"`
+	Run        *platform.RunReport     `json:"run,omitempty"`
+}
+
+// Stats is the store's observable state: lookup counters plus the
+// size gauges the eviction budget works against. It doubles as the
+// /v1/stats wire form.
+type Stats struct {
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Puts        int64   `json:"puts"`
+	Evictions   int64   `json:"evictions"`
+	Corrupt     int64   `json:"corrupt"`
+	WriteErrors int64   `json:"write_errors,omitempty"`
+	Entries     int64   `json:"entries"`
+	Bytes       int64   `json:"bytes"`
+	BudgetBytes int64   `json:"budget_bytes,omitempty"`
+}
+
+type indexEntry struct {
+	size int64
+	used int64 // LRU tick; larger = more recent
+}
+
+type putReq struct {
+	name  string
+	data  []byte
+	flush chan struct{} // non-nil: flush barrier, no write
+}
+
+// Store is an open result store. Create with Open; safe for concurrent
+// use. The zero value is not usable.
+type Store struct {
+	dir    string
+	budget int64 // bytes; <= 0 means unbounded
+
+	mu    sync.Mutex
+	index map[string]*indexEntry
+	bytes int64
+	clock int64
+
+	hits, misses, puts         atomic.Int64
+	evictions, corrupt, wfails atomic.Int64
+
+	wq        chan putReq
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Open loads the store rooted at dir (created if absent), rebuilding
+// the in-memory index from the blobs already on disk — that scan is
+// what lets a restarted process answer its first lookups from the
+// previous life's results. budget bounds the on-disk footprint in
+// bytes (<= 0: unbounded); when exceeded, least-recently-used blobs
+// are evicted.
+func Open(dir string, budget int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		budget: budget,
+		index:  map[string]*indexEntry{},
+		wq:     make(chan putReq, 1024),
+		done:   make(chan struct{}),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// load scans the shard tree into the index. Initial LRU order comes
+// from file mtimes, so eviction survives restarts with sane ordering.
+func (s *Store) load() error {
+	type seen struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var blobs []seen
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // racing deletion; skip
+		}
+		blobs = append(blobs, seen{
+			name:  d.Name()[:len(d.Name())-len(".json")],
+			size:  info.Size(),
+			mtime: info.ModTime().UnixNano(),
+		})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", s.dir, err)
+	}
+	sort.Slice(blobs, func(i, j int) bool { return blobs[i].mtime < blobs[j].mtime })
+	for _, b := range blobs {
+		s.clock++
+		s.index[b.name] = &indexEntry{size: b.size, used: s.clock}
+		s.bytes += b.size
+	}
+	return nil
+}
+
+// address derives a blob's content address from the pipeline version,
+// platform and canonical spec key.
+func address(platformName, specKey string) string {
+	h := sha256.New()
+	h.Write([]byte("dabench/store/v" + strconv.Itoa(PipelineVersion)))
+	h.Write([]byte{0})
+	h.Write([]byte(platformName))
+	h.Write([]byte{0})
+	h.Write([]byte(specKey))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, name[:2], name+".json")
+}
+
+// Load implements platform.ResultStore: a synchronous read-through
+// lookup. Any decode or identity failure deletes the blob and reports
+// a miss — corruption costs one recompute, never a crash. The disk is
+// probed even on an index miss: another process sharing the directory
+// (a CLI run beside the daemon) may have written the blob after this
+// process's Open-time scan.
+func (s *Store) Load(platformName, specKey string) (platform.Stored, bool) {
+	name := address(platformName, specKey)
+	s.mu.Lock()
+	e, indexed := s.index[name]
+	if indexed {
+		s.clock++
+		e.used = s.clock
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(name))
+	if err != nil {
+		// Evicted or torn between index check and read: a plain miss.
+		if indexed {
+			s.drop(name, !errors.Is(err, fs.ErrNotExist))
+		}
+		s.misses.Add(1)
+		return platform.Stored{}, false
+	}
+	var b blob
+	if err := json.Unmarshal(data, &b); err != nil ||
+		b.Version != PipelineVersion || b.Platform != platformName || b.SpecKey != specKey ||
+		(b.Compile == nil && !b.Failed) {
+		// The last clause rejects a blob whose identity frame survived
+		// but whose payload did not — serving it would hand the
+		// pipeline a nil compile report.
+		s.drop(name, true)
+		s.misses.Add(1)
+		return platform.Stored{}, false
+	}
+	if !indexed {
+		// A sibling process's write, discovered after our scan: adopt
+		// it so the size gauges and LRU order see it from now on.
+		s.mu.Lock()
+		if _, ok := s.index[name]; !ok {
+			s.clock++
+			s.index[name] = &indexEntry{size: int64(len(data)), used: s.clock}
+			s.bytes += int64(len(data))
+		}
+		s.mu.Unlock()
+	}
+	if b.Run != nil {
+		// The blob stores the run report detached from its compile
+		// report (the pointer cycle is stripped on write); reattach so
+		// consumers see the usual RunReport shape.
+		b.Run.Compile = b.Compile
+	}
+	s.hits.Add(1)
+	return platform.Stored{
+		Compile: b.Compile, Run: b.Run,
+		Failed: b.Failed, FailReason: b.FailReason,
+	}, true
+}
+
+// drop removes a blob from the index (and best-effort from disk),
+// optionally counting it as corruption.
+func (s *Store) drop(name string, isCorrupt bool) {
+	s.mu.Lock()
+	if e, ok := s.index[name]; ok {
+		s.bytes -= e.size
+		delete(s.index, name)
+	}
+	s.mu.Unlock()
+	_ = os.Remove(s.path(name))
+	if isCorrupt {
+		s.corrupt.Add(1)
+	}
+}
+
+// Store implements platform.ResultStore: serialize st and enqueue it
+// for the write-behind goroutine. It never blocks on disk; if the
+// store is closed the write is silently dropped (the entry is
+// recomputable by definition).
+func (s *Store) Store(platformName, specKey string, st platform.Stored) {
+	b := blob{
+		Version:  PipelineVersion,
+		Platform: platformName,
+		SpecKey:  specKey,
+		Failed:   st.Failed, FailReason: st.FailReason,
+		Compile: st.Compile,
+	}
+	if st.Run != nil {
+		// Strip the run→compile back-pointer: the compile report is
+		// already a sibling field, and marshaling it twice doubles
+		// every blob.
+		detached := *st.Run
+		detached.Compile = nil
+		b.Run = &detached
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		// Non-finite floats and the like: unstorable, not fatal.
+		s.wfails.Add(1)
+		return
+	}
+	select {
+	case s.wq <- putReq{name: address(platformName, specKey), data: data}:
+	case <-s.done:
+	}
+}
+
+// writer is the single write-behind goroutine: it persists queued
+// blobs atomically (temp file + rename) and enforces the size budget.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for {
+		select {
+		case r := <-s.wq:
+			s.write(r)
+		case <-s.done:
+			for {
+				select {
+				case r := <-s.wq:
+					s.write(r)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Store) write(r putReq) {
+	if r.flush != nil {
+		close(r.flush)
+		return
+	}
+	path := s.path(r.name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.wfails.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		s.wfails.Add(1)
+		return
+	}
+	_, werr := tmp.Write(r.data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		s.wfails.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		s.wfails.Add(1)
+		return
+	}
+	s.puts.Add(1)
+
+	s.mu.Lock()
+	s.clock++
+	if e, ok := s.index[r.name]; ok {
+		s.bytes += int64(len(r.data)) - e.size
+		e.size = int64(len(r.data))
+		e.used = s.clock
+	} else {
+		s.index[r.name] = &indexEntry{size: int64(len(r.data)), used: s.clock}
+		s.bytes += int64(len(r.data))
+	}
+	victims := s.evictLocked()
+	s.mu.Unlock()
+	for _, v := range victims {
+		_ = os.Remove(s.path(v))
+		s.evictions.Add(1)
+	}
+}
+
+// evictLocked selects least-recently-used blobs until the footprint is
+// back under budget, removing them from the index; the caller deletes
+// the files outside the lock.
+func (s *Store) evictLocked() []string {
+	if s.budget <= 0 || s.bytes <= s.budget {
+		return nil
+	}
+	type cand struct {
+		name string
+		used int64
+		size int64
+	}
+	cands := make([]cand, 0, len(s.index))
+	for name, e := range s.index {
+		cands = append(cands, cand{name, e.used, e.size})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].used < cands[j].used })
+	var victims []string
+	for _, c := range cands {
+		if s.bytes <= s.budget {
+			break
+		}
+		delete(s.index, c.name)
+		s.bytes -= c.size
+		victims = append(victims, c.name)
+	}
+	return victims
+}
+
+// Snapshot flushes the write-behind queue: when it returns, every
+// Store call that happened before it is durably on disk. It is the
+// pre-shutdown (and pre-restart-test) barrier.
+func (s *Store) Snapshot() {
+	ch := make(chan struct{})
+	select {
+	case s.wq <- putReq{flush: ch}:
+	case <-s.done:
+		return
+	}
+	select {
+	case <-ch:
+	case <-s.done:
+		// Closed while the barrier was queued: the writer's drain loop
+		// services it if the writer is still up, but never wait on a
+		// writer that has already exited.
+	}
+}
+
+// Close flushes pending writes and stops the writer; it is idempotent.
+// The store must not be used after Close; late Store calls are
+// dropped, late Loads still work (reads need no writer).
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		s.Snapshot()
+		close(s.done)
+		s.wg.Wait()
+	})
+}
+
+// Stats returns the current counters and size gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes := int64(len(s.index)), s.bytes
+	s.mu.Unlock()
+	st := Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Evictions:   s.evictions.Load(),
+		Corrupt:     s.corrupt.Load(),
+		WriteErrors: s.wfails.Load(),
+		Entries:     entries,
+		Bytes:       bytes,
+		BudgetBytes: s.budget,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

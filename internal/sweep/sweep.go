@@ -110,6 +110,17 @@ func Tolerating(f func(error) bool) Option {
 // does not depend on scheduling. Cancellation of the caller's ctx is
 // returned as ctx.Err() unless a hard error was also observed.
 func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, i int, item T) (R, error), opts ...Option) ([]Outcome[R], error) {
+	return MapN(ctx, len(items), func(ctx context.Context, i int) (R, error) {
+		return fn(ctx, i, items[i])
+	}, opts...)
+}
+
+// MapN is Map over the index range [0, n) instead of a materialized
+// slice: fn derives the i-th sweep point itself. It exists for sweeps
+// whose cross products are generated rather than stored — the async
+// job executor walks arbitrarily large products chunk by chunk without
+// ever holding the full spec slice in memory.
+func MapN[R any](ctx context.Context, n int, fn func(ctx context.Context, i int) (R, error), opts ...Option) ([]Outcome[R], error) {
 	o := options{workers: DefaultWorkers(), tolerate: platform.IsCompileFailure}
 	for _, opt := range opts {
 		opt(&o)
@@ -117,12 +128,12 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 	if o.workers < 1 {
 		o.workers = 1
 	}
-	if o.workers > len(items) {
-		o.workers = len(items)
+	if o.workers > n {
+		o.workers = n
 	}
 
-	out := make([]Outcome[R], len(items))
-	if len(items) == 0 {
+	out := make([]Outcome[R], n)
+	if n == 0 {
 		return out, ctx.Err()
 	}
 
@@ -159,7 +170,7 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				v, err := fn(ctx, i, items[i])
+				v, err := fn(ctx, i)
 				if err != nil && !o.tolerate(err) {
 					fail(i, err)
 					return
@@ -170,7 +181,7 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 	}
 
 dispatch:
-	for i := range items {
+	for i := 0; i < n; i++ {
 		select {
 		case feed <- i:
 		case <-ctx.Done():

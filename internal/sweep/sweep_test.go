@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -195,5 +196,56 @@ func TestValues(t *testing.T) {
 	vals := Values(outs)
 	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
 		t.Errorf("Values = %v", vals)
+	}
+}
+
+// TestMapNMatchesMap pins the contract the job executor builds on:
+// mapping over the index range [0, n) is observably identical to
+// mapping over a materialized slice of the same points.
+func TestMapNMatchesMap(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i * i
+	}
+	fromSlice, err := Map(context.Background(), items,
+		func(_ context.Context, _ int, v int) (int, error) { return v + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRange, err := MapN(context.Background(), len(items),
+		func(_ context.Context, i int) (int, error) { return items[i] + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromSlice, fromRange) {
+		t.Errorf("MapN diverged from Map:\n%v\n%v", fromRange, fromSlice)
+	}
+}
+
+func TestMapNHardErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapN(context.Background(), 64, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		default:
+			return i, nil
+		}
+	}, Tolerating(nil))
+	if err != boom {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestMapNEmpty(t *testing.T) {
+	outs, err := MapN(context.Background(), 0, func(context.Context, int) (int, error) {
+		t.Fatal("fn ran for empty range")
+		return 0, nil
+	})
+	if err != nil || len(outs) != 0 {
+		t.Errorf("empty MapN = %v, %v", outs, err)
 	}
 }
