@@ -6,6 +6,8 @@
 //
 //	dabench experiments [-parallel N] [id ...]   reproduce paper tables/figures (default: all)
 //	dabench profile -platform wse -model gpt2-small [-layers N] [-batch B]
+//	dabench scenario run <file|name>             execute a declarative multi-platform study
+//	dabench scenario list                        list the built-in scenario library
 //	dabench analyze [-csv] trace.jsonl           summarize a saved -trace record stream
 //	dabench list                                 list platforms, models and experiment IDs
 //
@@ -19,6 +21,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +29,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"dabench/internal/core"
 	"dabench/internal/experiments"
@@ -33,6 +37,7 @@ import (
 	"dabench/internal/platform"
 	"dabench/internal/precision"
 	"dabench/internal/report"
+	"dabench/internal/scenario"
 	"dabench/internal/store"
 	"dabench/internal/sweep"
 	"dabench/internal/trace"
@@ -56,15 +61,17 @@ func run(args []string) error {
 		return runExperiments(args[1:])
 	case "profile":
 		return runProfile(args[1:])
+	case "scenario":
+		return runScenario(args[1:])
 	case "analyze":
 		return runAnalyze(args[1:])
 	case "list":
 		return runList()
 	case "-h", "--help", "help":
-		fmt.Println("usage: dabench {experiments [id ...] | profile [flags] | analyze [-csv] file | list}")
+		fmt.Println("usage: dabench {experiments [id ...] | profile [flags] | scenario {run <file|name> | list} | analyze [-csv] file | list}")
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (try: experiments, profile, analyze, list)", args[0])
+		return fmt.Errorf("unknown command %q (try: experiments, profile, scenario, analyze, list)", args[0])
 	}
 }
 
@@ -117,22 +124,11 @@ func runExperiments(args []string) error {
 	}
 	sweep.SetDefaultWorkers(*parallel)
 	defer sweep.SetDefaultWorkers(0)
-	var st *store.Store
-	if *dataDir != "" {
-		// The CLI mounts the same content-addressed store layout the
-		// daemon uses under <data-dir>/store, so a CLI run after a
-		// daemon sweep (or vice versa) reuses the other's results.
-		var err error
-		st, err = store.Open(filepath.Join(*dataDir, "store"), *storeBudget)
-		if err != nil {
-			return err
-		}
-		experiments.SetResultStore(st)
-		defer func() {
-			experiments.SetResultStore(nil)
-			st.Close()
-		}()
+	st, unmount, err := mountStore(*dataDir, *storeBudget)
+	if err != nil {
+		return err
 	}
+	defer unmount()
 	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()
@@ -194,6 +190,113 @@ func runExperiments(args []string) error {
 	return nil
 }
 
+// mountStore installs the persistent result store under the shared
+// platforms when a data dir is given. The CLI mounts the same
+// content-addressed layout the daemon uses under <data-dir>/store, so
+// a CLI run after a daemon sweep (or vice versa) reuses the other's
+// results. The cleanup unmounts and flushes; it is safe to call when
+// no store was mounted.
+func mountStore(dataDir string, budget int64) (*store.Store, func(), error) {
+	if dataDir == "" {
+		return nil, func() {}, nil
+	}
+	st, err := store.Open(filepath.Join(dataDir, "store"), budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	experiments.SetResultStore(st)
+	return st, func() {
+		experiments.SetResultStore(nil)
+		st.Close()
+	}, nil
+}
+
+// runScenario dispatches the scenario subcommands: the declarative
+// multi-platform studies of internal/scenario.
+func runScenario(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: dabench scenario {run [flags] <file|name> | list}")
+	}
+	switch args[0] {
+	case "run":
+		return runScenarioRun(args[1:])
+	case "list":
+		for _, sc := range scenario.Library() {
+			n, err := sc.Points()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-26s %3d points on %-18s %s\n",
+				sc.Name, n, strings.Join(sc.Platforms, ","), sc.Description)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown scenario command %q (try: run, list)", args[0])
+	}
+}
+
+// runScenarioRun executes one scenario — a built-in library name or a
+// JSON document on disk — and renders it through the same shared path
+// the daemon uses, so the two outputs are byte-identical (CI diffs
+// them).
+func runScenarioRun(args []string) error {
+	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size (1 = serial)")
+	quiet := fs.Bool("q", false, "suppress timing/cache stats on stderr")
+	dataDir := fs.String("data-dir", "", "persistent result-store directory (share it with dabenchd's -data-dir to reuse its results)")
+	storeBudget := fs.Int64("store-budget", 256<<20, "result-store on-disk byte budget (LRU eviction; <= 0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *parallel < 1 || *parallel > sweep.MaxWorkers {
+		return fmt.Errorf("-parallel must be in [1, %d], got %d", sweep.MaxWorkers, *parallel)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dabench scenario run [flags] <file|name> (got %d args)", fs.NArg())
+	}
+	arg := fs.Arg(0)
+	sc, ok := scenario.ByName(arg)
+	if !ok {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return fmt.Errorf("%q is neither a library scenario (try: dabench scenario list) nor a readable file: %w", arg, err)
+		}
+		if sc, err = scenario.Parse(data); err != nil {
+			return err
+		}
+	}
+
+	sweep.SetDefaultWorkers(*parallel)
+	defer sweep.SetDefaultWorkers(0)
+	st, unmount, err := mountStore(*dataDir, *storeBudget)
+	if err != nil {
+		return err
+	}
+	defer unmount()
+
+	start := time.Now()
+	before := experiments.CacheStats()
+	out, err := scenario.Run(context.Background(), sc, scenario.RunOptions{})
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		d := experiments.CacheStats().Sub(before)
+		fmt.Fprintf(os.Stderr, "# %-26s %8.2fms wall (%d workers) · %d points × %d platforms · %d failed · compile cache %d/%d hits (%.0f%%)\n",
+			sc.Name, float64(time.Since(start).Microseconds())/1000, *parallel,
+			out.GridPoints, len(out.Platforms), out.Failed,
+			d.Hits, d.Hits+d.Misses, 100*d.HitRate())
+		if st != nil {
+			st.Snapshot()
+			s := st.Stats()
+			fmt.Fprintf(os.Stderr, "# store: %d/%d hits · %d entries · %d bytes in %s\n",
+				s.Hits, s.Hits+s.Misses, s.Entries, s.Bytes, *dataDir)
+		}
+	}
+	return out.Render(os.Stdout, *csv)
+}
+
 func runProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	plat := fs.String("platform", "wse", "wse | rdu | ipu | gpu")
@@ -223,17 +326,11 @@ func runProfile(args []string) error {
 		return err
 	}
 	spec := platform.TrainSpec{Model: cfg, Batch: *batch, Seq: *seq, Precision: f}
-	switch strings.ToUpper(*mode) {
-	case "O0":
-		spec.Par.Mode = platform.ModeO0
-	case "O1":
-		spec.Par.Mode = platform.ModeO1
-	case "O3":
-		spec.Par.Mode = platform.ModeO3
-	case "":
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+	m, err := platform.ParseMode(*mode)
+	if err != nil {
+		return err
 	}
+	spec.Par.Mode = m
 
 	prof, err := core.Profile(p, spec)
 	if err != nil {
@@ -307,5 +404,6 @@ func runList() error {
 	}
 	fmt.Println()
 	fmt.Println("experiments:", strings.Join(experiments.IDs(), ", "))
+	fmt.Println("scenarios:", strings.Join(scenario.Names(), ", "))
 	return nil
 }

@@ -143,6 +143,68 @@ func TestPickPlatformAliases(t *testing.T) {
 	}
 }
 
+func TestScenarioCommands(t *testing.T) {
+	if err := run([]string{"scenario", "list"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scenario"}); err == nil {
+		t.Error("bare scenario accepted")
+	}
+	if err := run([]string{"scenario", "bogus"}); err == nil {
+		t.Error("unknown scenario subcommand accepted")
+	}
+	if err := run([]string{"scenario", "run"}); err == nil {
+		t.Error("scenario run without an argument accepted")
+	}
+	if err := run([]string{"scenario", "run", "no-such-scenario"}); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+	if err := run([]string{"scenario", "run", "-parallel", "0", "rdu-build-modes"}); err == nil {
+		t.Error("-parallel 0 accepted")
+	}
+	if err := run([]string{"scenario", "run", "-q", "rdu-build-modes"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scenario", "run", "-q", "-csv", "rdu-build-modes"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.json")
+	doc := `{"version":1,"name":"file-study","platforms":["wse"],` +
+		`"base":{"model":"gpt2-small"},"grid":{"layers":[2,4]}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scenario", "run", "-q", path}); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":99,"name":"x","platforms":["wse"],"base":{"model":"gpt2-small"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scenario", "run", "-q", bad}); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong-version scenario not rejected clearly: %v", err)
+	}
+}
+
+// TestScenarioDataDirPersists: a scenario run with -data-dir lands its
+// compile/run outcomes in the shared content-addressed store, exactly
+// like the experiments subcommand and the daemon.
+func TestScenarioDataDirPersists(t *testing.T) {
+	dir := t.TempDir()
+	experiments.ResetCaches()
+	if err := run([]string{"scenario", "run", "-q", "-data-dir", dir, "rdu-build-modes"}); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := filepath.Glob(filepath.Join(dir, "store", "*", "*.json")); len(entries) == 0 {
+		t.Fatal("scenario run persisted nothing under <data-dir>/store")
+	}
+}
+
 // TestDataDirSharesStoreAcrossRuns is the CLI half of the durability
 // story: a second CLI invocation pointed at the same -data-dir (after
 // the in-memory caches are gone, as across processes) must answer from

@@ -17,6 +17,13 @@
 // journaled under DIR/jobs (so a restart resumes interrupted jobs).
 // Without it everything lives and dies with the process.
 //
+// Beyond single runs, sweeps and the paper's experiment artifacts, the
+// daemon executes declarative multi-platform scenarios: GET
+// /v1/scenarios lists the built-in library, GET /v1/scenarios/{name}
+// runs one, and POST /v1/scenarios executes an arbitrary scenario
+// document — synchronously under -max-sweep-points, as an async job
+// above it.
+//
 // On SIGINT/SIGTERM the server drains gracefully: the listener closes,
 // in-flight requests run to completion (bounded by -drain-timeout),
 // the job manager stops, and the store flushes. See API.md for the

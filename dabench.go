@@ -38,6 +38,7 @@ import (
 	"dabench/internal/platform"
 	"dabench/internal/precision"
 	"dabench/internal/rdu"
+	"dabench/internal/scenario"
 	"dabench/internal/store"
 	"dabench/internal/sweep"
 	"dabench/internal/wse"
@@ -171,6 +172,30 @@ func RunExperimentContext(ctx context.Context, id string) (*ExperimentResult, er
 		return nil, &platform.CompileError{Platform: "dabench", Reason: "unknown experiment " + id}
 	}
 	return r(ctx)
+}
+
+// Scenario engine re-exports: declarative multi-platform studies over
+// the same cached pipeline (see internal/scenario).
+type (
+	// Scenario is one declarative multi-platform study (versioned
+	// JSON document).
+	Scenario = scenario.Scenario
+	// ScenarioOutcome is one executed scenario: its comparison tables
+	// plus failure counts, renderable via Render.
+	ScenarioOutcome = scenario.Outcome
+)
+
+// ScenarioLibrary returns the built-in scenarios reproducing the
+// paper's cross-platform comparisons, in stable order.
+func ScenarioLibrary() []*Scenario { return scenario.Library() }
+
+// ParseScenario strictly decodes and validates a scenario document.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// RunScenario executes a scenario on the shared cached platforms; the
+// context bounds every sweep it fans out.
+func RunScenario(ctx context.Context, sc *Scenario) (*ScenarioOutcome, error) {
+	return scenario.Run(ctx, sc, scenario.RunOptions{})
 }
 
 // IsCompileFailure reports whether err is a placement failure (the

@@ -33,10 +33,12 @@ func SharedPlatform(name string) (platform.CachedPlatform, bool) {
 func PlatformNames() []string { return []string{"wse", "rdu", "ipu", "gpu"} }
 
 // Render writes the result's tables to w in the CLI's wire format:
-// aligned text, or CSV when csv is set. Both cmd/dabench and the HTTP
-// server's /v1/experiments endpoint render through this one function —
-// that shared path is what keeps a served experiment body
-// byte-identical to the CLI's stdout for the same ID.
+// aligned text, or CSV when csv is set. Every table-producing surface
+// renders through this one function — cmd/dabench (experiments and
+// scenario runs alike), the HTTP server's /v1/experiments and
+// /v1/scenarios endpoints, and async scenario job results — and that
+// shared path is what keeps a served body byte-identical to the CLI's
+// stdout for the same artifact.
 func (r *Result) Render(w io.Writer, csv bool) error {
 	for _, t := range r.Tables {
 		var err error

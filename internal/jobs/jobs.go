@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -162,6 +163,12 @@ type Manager struct {
 
 	replayed, torn int64
 
+	// queuedGauge tracks jobs in StateQueued with one atomic, so hot
+	// observers (the server's 429 Retry-After derivation fires on
+	// every shed request during a saturation storm) never take mu or
+	// scan the job table. Stats() remains the authoritative full scan.
+	queuedGauge atomic.Int64
+
 	queue    chan *job
 	shutdown context.CancelFunc
 	baseCtx  context.Context
@@ -211,6 +218,7 @@ func Open(cfg Config) (*Manager, error) {
 		depth = len(revived)
 	}
 	m.queue = make(chan *job, depth)
+	m.queuedGauge.Store(int64(len(revived)))
 	for _, j := range revived {
 		m.queue <- j
 	}
@@ -348,9 +356,15 @@ func (m *Manager) Submit(req json.RawMessage, points int) (View, error) {
 	m.nextID++
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	m.queuedGauge.Add(1)
 	m.append(record{Job: j.id, Event: eventSubmitted, Time: j.created, Points: points, Request: req}, true)
 	return j.view(), nil
 }
+
+// Queued reports the number of jobs currently waiting to run. Unlike
+// Stats it is a single atomic load — safe on hot paths like the
+// server's load-shedding 429s.
+func (m *Manager) Queued() int64 { return m.queuedGauge.Load() }
 
 // Get returns a job's current view.
 func (m *Manager) Get(id string) (View, bool) {
@@ -417,6 +431,7 @@ func (m *Manager) Cancel(id string) (View, error) {
 	case j.state == StateQueued:
 		j.state = StateCancelled
 		j.finish = time.Now().UTC()
+		m.queuedGauge.Add(-1)
 		m.append(record{Job: j.id, Event: eventCancelled, Time: j.finish}, true)
 	default: // running
 		j.cancelRequested = true
@@ -488,6 +503,7 @@ func (m *Manager) execute(j *job) {
 	j.state = StateRunning
 	j.started = time.Now().UTC()
 	j.cancel = cancel
+	m.queuedGauge.Add(-1)
 	m.append(record{Job: j.id, Event: eventRunning, Time: j.started}, false)
 	m.mu.Unlock()
 
@@ -532,6 +548,7 @@ func (m *Manager) execute(j *job) {
 		// state goes back to queued for accuracy until exit.
 		j.state = StateQueued
 		j.started = time.Time{}
+		m.queuedGauge.Add(1)
 	case j.cancelRequested && errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.finish = now

@@ -316,6 +316,54 @@ func TestTornJournalRecordIsSkipped(t *testing.T) {
 	}
 }
 
+// TestQueuedGaugeTracksLifecycle: the O(1) queued gauge (the server's
+// Retry-After signal) must agree with the authoritative Stats scan as
+// jobs queue, start and cancel.
+func TestQueuedGaugeTracksLifecycle(t *testing.T) {
+	gate := make(chan struct{})
+	m, err := Open(Config{QueueDepth: 8, Workers: 1,
+		Run: func(ctx context.Context, _ json.RawMessage, _ func(int, int)) (json.RawMessage, error) {
+			<-gate
+			return json.RawMessage(`{}`), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	defer close(gate)
+
+	if got := m.Queued(); got != 0 {
+		t.Fatalf("fresh manager Queued() = %d", got)
+	}
+	// One job occupies the worker; the rest wait in the queue.
+	var views []View
+	for i := 0; i < 4; i++ {
+		v, err := m.Submit(json.RawMessage(`{}`), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	// Wait until the worker has taken exactly one job off the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Stats().Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no job started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got, want := m.Queued(), m.Stats().Queued; got != want || got != 3 {
+		t.Fatalf("Queued() = %d, Stats().Queued = %d, want 3", got, want)
+	}
+	// Cancelling a queued job drops the gauge with it.
+	if _, err := m.Cancel(views[3].ID); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Queued(), m.Stats().Queued; got != want || got != 2 {
+		t.Fatalf("after cancel: Queued() = %d, Stats().Queued = %d, want 2", got, want)
+	}
+}
+
 func TestQueueFull(t *testing.T) {
 	gate := make(chan struct{})
 	m, err := Open(Config{QueueDepth: 1, Workers: 1,

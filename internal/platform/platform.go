@@ -14,6 +14,7 @@ package platform
 
 import (
 	"fmt"
+	"strings"
 
 	"dabench/internal/model"
 	"dabench/internal/precision"
@@ -55,6 +56,25 @@ func (m CompileMode) String() string {
 		return "O3"
 	default:
 		return "default"
+	}
+}
+
+// ParseMode converts a mode name ("O0", "O1", "O3", case-insensitive;
+// "" means ModeDefault) into a CompileMode. Every mode-accepting wire
+// surface (CLI flags, server requests, scenario documents) parses
+// through this one function so the vocabulary cannot drift.
+func ParseMode(s string) (CompileMode, error) {
+	switch strings.ToUpper(s) {
+	case "":
+		return ModeDefault, nil
+	case "O0":
+		return ModeO0, nil
+	case "O1":
+		return ModeO1, nil
+	case "O3":
+		return ModeO3, nil
+	default:
+		return ModeDefault, fmt.Errorf("platform: unknown mode %q (valid: O0, O1, O3)", s)
 	}
 }
 

@@ -1,0 +1,93 @@
+package scenario
+
+// The built-in scenario library: the paper's cross-platform questions
+// re-posed as declarative studies. Each is small enough to run
+// synchronously under the default serving budget, and each exercises a
+// different comparison shape — speedup vs a baseline, winner matrices,
+// pareto frontiers, single-platform build-mode ladders. Golden-file
+// tests pin every library scenario's rendered output.
+
+// library is the ordered built-in set. Keep the order stable: list
+// endpoints, docs and tests all follow it.
+var library = []*Scenario{
+	{
+		Version:     FormatVersion,
+		Name:        "cross-platform-throughput",
+		Description: "GPT-2 layer/batch grid on all four platforms: speedup vs the GPU baseline, per-point winners, pareto frontier (the paper's Table III axis).",
+		Platforms:   []string{"wse", "rdu", "ipu", "gpu"},
+		Base:        Base{Model: "gpt2-small", Seq: 1024, Precision: "FP16"},
+		Grid:        Grid{Layers: []int{6, 12}, Batches: []int{256, 512}},
+		Compare:     []string{CompareSpeedup, CompareWinners, ComparePareto},
+		Baseline:    "gpu",
+	},
+	{
+		Version:     FormatVersion,
+		Name:        "batch-scaling",
+		Description: "Throughput vs batch size on the dataflow platforms and the GPU reference (the paper's Figure 12 axis).",
+		Platforms:   []string{"wse", "ipu", "gpu"},
+		Base:        Base{Model: "gpt2-small", Layers: 4, Seq: 1024, Precision: "FP16"},
+		Grid:        Grid{Batches: []int{64, 128, 256, 512, 1024}},
+		Compare:     []string{CompareSpeedup, CompareWinners, ComparePareto},
+		Baseline:    "gpu",
+	},
+	{
+		Version:     FormatVersion,
+		Name:        "precision-ladder",
+		Description: "Numeric format impact per platform (the paper's Table IV axis); formats a platform cannot place appear as Fail findings.",
+		Platforms:   []string{"wse", "ipu", "gpu"},
+		Base:        Base{Model: "gpt2-small", Layers: 2, Seq: 1024},
+		Grid:        Grid{Precisions: []string{"FP32", "FP16", "Mixed"}},
+		Compare:     []string{CompareWinners, ComparePareto},
+	},
+	{
+		Version:     FormatVersion,
+		Name:        "layer-ladder-pareto",
+		Description: "Model-depth scaling across all four platforms, compared on the (throughput, efficiency) frontier.",
+		Platforms:   []string{"wse", "rdu", "ipu", "gpu"},
+		Base:        Base{Model: "gpt2-small", Batch: 256, Seq: 1024, Precision: "FP16"},
+		Grid:        Grid{Layers: []int{2, 4, 8, 12}},
+		Compare:     []string{CompareWinners, ComparePareto},
+	},
+	{
+		Version:     FormatVersion,
+		Name:        "rdu-build-modes",
+		Description: "RDU build-optimization levels (O0/O1/O3) over a layer ladder — a single-platform study on the pareto frontier.",
+		Platforms:   []string{"rdu"},
+		Base:        Base{Model: "gpt2-small", Batch: 4, Seq: 1024, Precision: "BF16"},
+		Grid:        Grid{Layers: []int{8, 16}, Modes: []string{"O0", "O1", "O3"}},
+		Compare:     []string{ComparePareto},
+	},
+	{
+		Version:     FormatVersion,
+		Name:        "tp-scaling",
+		Description: "LLaMA-2 7B tensor-parallel ladder on the RDU vs the GPU reference.",
+		Platforms:   []string{"rdu", "gpu"},
+		Base:        Base{Model: "llama2-7b", Batch: 8, Seq: 4096, Precision: "BF16", Mode: "O1"},
+		Grid:        Grid{TensorParallel: []int{2, 4, 8}},
+		Compare:     []string{CompareSpeedup, CompareWinners, ComparePareto},
+		Baseline:    "gpu",
+	},
+}
+
+// Library returns the built-in scenarios in their stable order. The
+// slice and its elements are shared: callers must not mutate them.
+func Library() []*Scenario { return library }
+
+// ByName resolves a built-in scenario.
+func ByName(name string) (*Scenario, bool) {
+	for _, sc := range library {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the built-in scenario names in library order.
+func Names() []string {
+	names := make([]string, len(library))
+	for i, sc := range library {
+		names[i] = sc.Name
+	}
+	return names
+}

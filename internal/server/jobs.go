@@ -13,6 +13,7 @@ import (
 	"dabench/internal/jobs"
 	"dabench/internal/platform"
 	"dabench/internal/report"
+	"dabench/internal/scenario"
 	"dabench/internal/sweep"
 )
 
@@ -43,12 +44,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	n := a.product()
 	if n > int64(s.cfg.MaxJobPoints) {
-		writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: ErrorBody{
-			Code:            CodeSweepTooLarge,
-			Message:         fmt.Sprintf("job of %d points exceeds the job cap of %d", n, s.cfg.MaxJobPoints),
-			Limit:           s.cfg.MaxJobPoints,
-			RequestedPoints: n,
-		}})
+		s.writeJobCapExceeded(w, "job", n)
 		return
 	}
 
@@ -57,8 +53,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	v, err := s.jobs.Submit(json.RawMessage(raw), int(n))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusTooManyRequests, CodeQueueFull, "job queue is full; retry later")
+		s.writeQueueFull(w)
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, CodeInternal, "job manager is shut down")
@@ -69,6 +64,26 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/v1/jobs/"+v.ID)
 	writeJSON(w, http.StatusAccepted, v)
+}
+
+// writeJobCapExceeded answers a submission whose cross product exceeds
+// the async job cap: the one structured rejection both the sweep and
+// scenario submission paths share.
+func (s *Server) writeJobCapExceeded(w http.ResponseWriter, what string, requested int64) {
+	writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: ErrorBody{
+		Code:            CodeSweepTooLarge,
+		Message:         fmt.Sprintf("%s of %d points exceeds the job cap of %d", what, requested, s.cfg.MaxJobPoints),
+		Limit:           s.cfg.MaxJobPoints,
+		RequestedPoints: requested,
+	}})
+}
+
+// writeQueueFull answers a job submission that found the queue full:
+// 429 with a Retry-After derived from how much work is actually
+// queued, so a deep backlog pushes clients out further than a blip.
+func (s *Server) writeQueueFull(w http.ResponseWriter) {
+	s.setRetryAfter(w, int(s.jobs.Queued()))
+	writeError(w, http.StatusTooManyRequests, CodeQueueFull, "job queue is full; retry later")
 }
 
 // decodeSweepRequest parses raw strictly (unknown fields and trailing
@@ -131,6 +146,22 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if isScenarioResult(raw) {
+		// A scenario job: its tables render through the same shared
+		// path as the synchronous endpoint and the CLI, byte for byte.
+		// A blob that classifies as a scenario but no longer decodes
+		// (written by an incompatible build) is an explicit error, not
+		// a silent fall-through to the sweep renderer.
+		var out scenario.Outcome
+		if err := json.Unmarshal(raw, &out); err != nil || len(out.Tables) == 0 {
+			writeError(w, http.StatusInternalServerError, CodeInternal,
+				"stored scenario result for "+strconv.Quote(id)+" does not decode (written by an incompatible version?)")
+			return
+		}
+		writeScenario(w, &out, format) // "csv" or "table" (rendered as text) here
+		return
+	}
+
 	var resp SweepResponse
 	if err := json.Unmarshal(raw, &resp); err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, "stored result corrupt: "+err.Error())
@@ -187,6 +218,15 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // progress. The assembled result is encoded exactly as the synchronous
 // sweep handler encodes its response.
 func (s *Server) runJob(ctx context.Context, raw json.RawMessage, progress func(done, failed int)) (json.RawMessage, error) {
+	// Scenario jobs are journaled inside a kind-marked envelope; bare
+	// bodies are the original sweep vocabulary. A sweep request can
+	// never alias the envelope: its strict submission decode rejects a
+	// "kind" field.
+	var env jobEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Kind == "scenario" {
+		return s.runScenarioJob(ctx, env.Scenario, progress)
+	}
+
 	req, err := decodeSweepRequest(raw)
 	if err != nil {
 		return nil, err

@@ -191,17 +191,11 @@ func (req RunRequest) resolve() (platform.CachedPlatform, platform.TrainSpec, er
 		LayerAssignment:  req.LayerAssignment,
 		WeightStreaming:  req.WeightStreaming,
 	}
-	switch strings.ToUpper(req.Mode) {
-	case "":
-	case "O0":
-		spec.Par.Mode = platform.ModeO0
-	case "O1":
-		spec.Par.Mode = platform.ModeO1
-	case "O3":
-		spec.Par.Mode = platform.ModeO3
-	default:
-		return nil, spec, fmt.Errorf("unknown mode %q (valid: O0, O1, O3)", req.Mode)
+	mode, err := platform.ParseMode(req.Mode)
+	if err != nil {
+		return nil, spec, err
 	}
+	spec.Par.Mode = mode
 
 	if err := spec.Validate(); err != nil {
 		return nil, spec, err

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"dabench/internal/jobs"
+	"dabench/internal/scenario"
+)
+
+// scenarioInfo is one library entry in the GET /v1/scenarios listing.
+type scenarioInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	Platforms   []string `json:"platforms"`
+	// Points is the total compile/run pairs the scenario executes
+	// (grid size × platform count).
+	Points int `json:"points"`
+}
+
+// libraryInfos resolves the immutable built-in library once (at server
+// construction) so the listing endpoint is a plain write, not a
+// revalidation of every scenario per request.
+func libraryInfos() ([]scenarioInfo, error) {
+	lib := scenario.Library()
+	infos := make([]scenarioInfo, 0, len(lib))
+	for _, sc := range lib {
+		n, err := sc.Points()
+		if err != nil {
+			return nil, fmt.Errorf("library scenario %q is invalid: %w", sc.Name, err)
+		}
+		infos = append(infos, scenarioInfo{
+			Name: sc.Name, Description: sc.Description,
+			Platforms: sc.Platforms, Points: n,
+		})
+	}
+	return infos, nil
+}
+
+func (s *Server) handleScenarioList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]scenarioInfo{"scenarios": s.scenarios})
+}
+
+// scenarioFormat validates the ?format= parameter shared by the
+// scenario endpoints. dflt is what an empty parameter means: the
+// GET endpoint defaults to the CLI's text rendering (CI diffs the
+// two), the POST endpoint to the JSON document.
+func scenarioFormat(w http.ResponseWriter, r *http.Request, dflt string) (string, bool) {
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "":
+		return dflt, true
+	case "text", "table":
+		return "text", true
+	case "csv", "json":
+		return format, true
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"unknown format "+strconv.Quote(format)+" (valid: text, table, csv, json)")
+		return "", false
+	}
+}
+
+// handleScenarioGet runs one built-in library scenario synchronously.
+// It sits behind the admission gate (wired in New), so it shares the
+// in-flight budget and request deadline with the other heavy
+// endpoints.
+func (s *Server) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sc, ok := scenario.ByName(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown scenario "+strconv.Quote(name))
+		return
+	}
+	format, ok := scenarioFormat(w, r, "text")
+	if !ok {
+		return
+	}
+	out, err := scenario.Run(r.Context(), sc, scenario.RunOptions{})
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	writeScenario(w, out, format)
+}
+
+// handleScenarioSubmit executes a posted scenario document: under the
+// synchronous point budget it runs inline (admission-gated like every
+// heavy request); over it, the document is journaled as an async job
+// on the background pool and answered 202 + Location, exactly like
+// POST /v1/jobs. The async result document is byte-identical to the
+// synchronous response for the same scenario — both paths encode one
+// scenario.Outcome with the same encoder.
+func (s *Server) handleScenarioSubmit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "read body: "+err.Error())
+		return
+	}
+	sc, err := scenario.Parse(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	format, ok := scenarioFormat(w, r, "json")
+	if !ok {
+		return
+	}
+	total, err := sc.Points()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+
+	if total > s.cfg.MaxSweepPoints {
+		// Too heavy for a synchronous answer: hand it to the job
+		// subsystem. The journaled request wraps the client's exact
+		// bytes so replay re-executes what was submitted.
+		if total > s.cfg.MaxJobPoints {
+			s.writeJobCapExceeded(w, "scenario", int64(total))
+			return
+		}
+		v, err := s.jobs.Submit(scenarioJobRequest(raw), total)
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			s.writeQueueFull(w)
+			return
+		case errors.Is(err, jobs.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, CodeInternal, "job manager is shut down")
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+v.ID)
+		writeJSON(w, http.StatusAccepted, v)
+		return
+	}
+
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	out, err := scenario.Run(ctx, sc, scenario.RunOptions{})
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	writeScenario(w, out, format)
+	s.served.Add(1)
+}
+
+// writeScenario renders one scenario outcome in the requested format.
+// Text and CSV go through Outcome.Render — the shared
+// experiments.Result.Render path that keeps the bytes identical to the
+// CLI's stdout and the async job result for the same scenario.
+func writeScenario(w http.ResponseWriter, out *scenario.Outcome, format string) {
+	switch format {
+	case "json":
+		writeJSON(w, http.StatusOK, out)
+	case "csv":
+		var buf bytes.Buffer
+		if err := out.Render(&buf, true); err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	default: // text
+		var buf bytes.Buffer
+		if err := out.Render(&buf, false); err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	}
+}
+
+// jobEnvelope distinguishes journaled job request vocabularies: sweep
+// requests are journaled bare (the original /v1/jobs wire form, kept
+// for journal compatibility), scenario requests wrapped with a kind
+// marker. SweepRequest has no "kind" field and is decoded strictly at
+// submission, so no sweep body can alias a scenario envelope.
+type jobEnvelope struct {
+	Kind     string          `json:"kind"`
+	Scenario json.RawMessage `json:"scenario"`
+}
+
+// scenarioJobRequest wraps a scenario document's exact client bytes in
+// the journal envelope.
+func scenarioJobRequest(raw []byte) json.RawMessage {
+	buf := make([]byte, 0, len(raw)+len(`{"kind":"scenario","scenario":}`))
+	buf = append(buf, `{"kind":"scenario","scenario":`...)
+	buf = append(buf, raw...)
+	buf = append(buf, '}')
+	return buf
+}
+
+// runScenarioJob executes one journaled scenario on the background
+// pool, reporting chunked progress. The result document is encoded
+// exactly as the synchronous handler encodes its response.
+func (s *Server) runScenarioJob(ctx context.Context, raw json.RawMessage, progress func(done, failed int)) (json.RawMessage, error) {
+	sc, err := scenario.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	total, err := sc.Points()
+	if err != nil {
+		return nil, err
+	}
+	if total > s.cfg.MaxJobPoints {
+		// Replayed from a journal written under a larger cap.
+		return nil, fmt.Errorf("scenario of %d points exceeds the job cap of %d", total, s.cfg.MaxJobPoints)
+	}
+	out, err := scenario.Run(ctx, sc, scenario.RunOptions{
+		Workers:  s.cfg.JobSweepWorkers,
+		Progress: progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// isScenarioResult classifies a stored job result by probing the
+// "scenario" field alone — a SweepResponse has no such field and can
+// never produce a non-empty one, and the one-field probe avoids
+// materializing a multi-megabyte result document twice just to
+// classify it. Classification is independent of whether the full
+// outcome still decodes, so a scenario blob written by an
+// incompatible build fails closed (explicit error) instead of falling
+// through to the sweep renderer.
+func isScenarioResult(raw []byte) bool {
+	var probe struct {
+		Scenario string `json:"scenario"`
+	}
+	return json.Unmarshal(raw, &probe) == nil && probe.Scenario != ""
+}

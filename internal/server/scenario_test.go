@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dabench/internal/jobs"
+	"dabench/internal/scenario"
+)
+
+func TestScenarioListEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var list map[string][]scenarioInfo
+	if resp := getJSON(t, ts.URL+"/v1/scenarios", &list); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	infos := list["scenarios"]
+	if len(infos) != len(scenario.Library()) {
+		t.Fatalf("listed %d scenarios, library has %d", len(infos), len(scenario.Library()))
+	}
+	for i, sc := range scenario.Library() {
+		if infos[i].Name != sc.Name || infos[i].Points <= 0 || len(infos[i].Platforms) == 0 {
+			t.Errorf("entry %d = %+v, want %s with points and platforms", i, infos[i], sc.Name)
+		}
+	}
+}
+
+// TestScenarioGetMatchesEngineRender: the library endpoint's default
+// text body is the shared Render path's output, byte for byte — the
+// same bytes `dabench scenario run` prints (CI cmps the two for real).
+func TestScenarioGetMatchesEngineRender(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := postBodyless(t, ts.URL+"/v1/scenarios/rdu-build-modes")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("get: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+
+	sc, _ := scenario.ByName("rdu-build-modes")
+	out, err := scenario.Run(context.Background(), sc, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := out.Render(&want, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("served scenario differs from the engine render:\n--- served ---\n%s\n--- engine ---\n%s",
+			body, want.Bytes())
+	}
+
+	// CSV too.
+	resp, csv := postBodyless(t, ts.URL+"/v1/scenarios/rdu-build-modes?format=csv")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/csv") {
+		t.Fatalf("csv get: %d", resp.StatusCode)
+	}
+	var wantCSV bytes.Buffer
+	if err := out.Render(&wantCSV, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv, wantCSV.Bytes()) {
+		t.Error("served CSV differs from the engine render")
+	}
+}
+
+func TestScenarioGetErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	if resp, _ := postBodyless(t, ts.URL+"/v1/scenarios/no-such"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown scenario status = %d", resp.StatusCode)
+	}
+	if resp, _ := postBodyless(t, ts.URL+"/v1/scenarios/rdu-build-modes?format=xml"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad format status = %d", resp.StatusCode)
+	}
+}
+
+func postScenario(t *testing.T, ts string, body, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts+"/v1/scenarios"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestScenarioSyncAsyncInvariance is the scenario-engine acceptance:
+// the same document answered synchronously by POST /v1/scenarios and
+// asynchronously through the job subsystem yields byte-identical
+// result documents AND byte-identical rendered output.
+func TestScenarioSyncAsyncInvariance(t *testing.T) {
+	sc, _ := scenario.ByName("rdu-build-modes")
+	doc, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sync: the 6-point scenario fits the default budget.
+	syncTS := newTestServer(t, Config{})
+	resp, syncJSON := postScenario(t, syncTS.URL, string(doc), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync status = %d: %s", resp.StatusCode, syncJSON)
+	}
+	_, syncTable := postScenario(t, syncTS.URL, string(doc), "?format=table")
+
+	// Async: a 1-point sync budget forces the same document through
+	// the job subsystem.
+	asyncTS := newTestServer(t, Config{MaxSweepPoints: 1})
+	resp, body := postScenario(t, asyncTS.URL, string(doc), "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status = %d: %s", resp.StatusCode, body)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/jobs/") {
+		t.Errorf("Location = %q", loc)
+	}
+	var v jobs.View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Points != 6 {
+		t.Errorf("submitted points = %d, want 6", v.Points)
+	}
+	done := waitJobState(t, asyncTS, v.ID, jobs.StateDone)
+	if done.Done != 6 {
+		t.Errorf("final progress = %d, want 6", done.Done)
+	}
+
+	_, asyncJSON := postBodyless(t, asyncTS.URL+"/v1/jobs/"+v.ID+"/result")
+	if !bytes.Equal(asyncJSON, syncJSON) {
+		t.Errorf("async result document differs from the synchronous response:\n--- async ---\n%s\n--- sync ---\n%s",
+			asyncJSON, syncJSON)
+	}
+	_, asyncTable := postBodyless(t, asyncTS.URL+"/v1/jobs/"+v.ID+"/result?format=table")
+	if !bytes.Equal(asyncTable, syncTable) {
+		t.Errorf("async rendered table differs from the synchronous one:\n--- async ---\n%s\n--- sync ---\n%s",
+			asyncTable, syncTable)
+	}
+	// And both match the admitted library endpoint's rendering.
+	_, getTable := postBodyless(t, syncTS.URL+"/v1/scenarios/rdu-build-modes")
+	if !bytes.Equal(getTable, syncTable) {
+		t.Error("GET /v1/scenarios/{name} render differs from the POST render")
+	}
+
+	// The async path went through the real job vocabulary: a sweep job
+	// on the same manager still works (no envelope confusion).
+	resp, body = postJSON(t, asyncTS.URL+"/v1/jobs", `{"platform":"wse","model":"gpt2-small"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep job after scenario job: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, asyncTS, v.ID, jobs.StateDone)
+}
+
+func TestScenarioSubmitValidation(t *testing.T) {
+	ts := newTestServer(t, Config{MaxSweepPoints: 1, MaxJobPoints: 4})
+
+	if resp, _ := postScenario(t, ts.URL, `{"version":99}`, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong version status = %d", resp.StatusCode)
+	}
+	if resp, _ := postScenario(t, ts.URL, `not json`, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("junk body status = %d", resp.StatusCode)
+	}
+
+	// 6 points > job cap of 4: structured rejection.
+	sc, _ := scenario.ByName("rdu-build-modes")
+	doc, _ := json.Marshal(sc)
+	resp, body := postScenario(t, ts.URL, string(doc), "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over job cap status = %d: %s", resp.StatusCode, body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != CodeSweepTooLarge ||
+		env.Error.Limit != 4 || env.Error.RequestedPoints != 6 {
+		t.Errorf("rejection envelope = %+v (%v)", env.Error, err)
+	}
+}

@@ -119,6 +119,9 @@ type Server struct {
 	mux  *http.ServeMux
 	sem  chan struct{}
 	jobs *jobs.Manager
+	// scenarios is the built-in library's listing payload, resolved
+	// once at construction (the library is immutable).
+	scenarios []scenarioInfo
 
 	inFlight atomic.Int64
 	served   atomic.Int64
@@ -142,12 +145,23 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.jobs = jm
+	if s.scenarios, err = libraryInfos(); err != nil {
+		jm.Close()
+		return nil, err
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/run", s.admit(s.handleRun))
 	s.mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.admit(s.handleExperiment))
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
+	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.admit(s.handleScenarioGet))
+	// Scenario submission manages admission itself: a document under
+	// the sync budget runs inline on an admission slot, a larger one
+	// becomes an async job (submission is cheap, so it must not burn a
+	// simulation slot or be shed while slots are busy).
+	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenarioSubmit)
 	// Job endpoints skip the admission gate on purpose: submission and
 	// observation are cheap, and the executor's background pool — not
 	// the in-flight semaphore — is the bounded resource.
@@ -169,32 +183,77 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// acquire claims one admission slot, answering 429 (with a
+// load-derived Retry-After) when every slot is busy — shedding load
+// beats queueing it when every slot is a full simulation sweep. On
+// success the caller must release.
+func (s *Server) acquire(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return true
+	default:
+		s.rejected.Add(1)
+		// The backoff signal is all the work already queued ahead of a
+		// retry: the busy admission slots plus the async job backlog
+		// draining on the same simulation cores (in-flight alone is
+		// capped at the slot count and could never scale the advice).
+		// Queued is one atomic load — the shed path stays O(1) under a
+		// saturation storm.
+		s.setRetryAfter(w, int(s.inFlight.Load())+int(s.jobs.Queued()))
+		writeError(w, http.StatusTooManyRequests, CodeSaturated,
+			"all "+strconv.Itoa(cap(s.sem))+" simulation slots are busy; retry shortly")
+		return false
+	}
+}
+
+// release returns an admission slot claimed by acquire.
+func (s *Server) release() {
+	s.inFlight.Add(-1)
+	<-s.sem
+}
+
 // admit wraps a heavy handler with the bounded-semaphore admission
-// gate and the per-request deadline. Saturation is answered with 429
-// immediately — shedding load beats queueing it when every slot is a
-// full simulation sweep.
+// gate and the per-request deadline.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			s.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, CodeSaturated,
-				"all "+strconv.Itoa(cap(s.sem))+" simulation slots are busy; retry shortly")
+		if !s.acquire(w) {
 			return
 		}
-		s.inFlight.Add(1)
-		defer func() {
-			s.inFlight.Add(-1)
-			<-s.sem
-		}()
+		defer s.release()
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		h(w, r.WithContext(ctx))
 		s.served.Add(1)
 	}
+}
+
+// retryAfterSecs derives a Retry-After hint from the amount of work
+// already waiting: one second when lightly loaded, plus one second per
+// full admission pool's worth of queued depth, clamped to a minute.
+// Both 429 sites (the admission gate and the job queue) derive their
+// header from this one function, so clients see consistent backoff
+// advice that scales with actual pressure instead of a hardcoded
+// constant.
+func retryAfterSecs(depth, slots int) int {
+	if slots < 1 {
+		slots = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	secs := 1 + depth/slots
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// setRetryAfter stamps the Retry-After header for a 429 given the
+// current queued-work depth.
+func (s *Server) setRetryAfter(w http.ResponseWriter, depth int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(depth, cap(s.sem))))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -404,8 +405,10 @@ func TestSaturationReturns429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d: %s", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After")
+	// Retry-After must be a parseable, positive integer derived from
+	// the current load, not a hardcoded constant.
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1 (%v)", resp.Header.Get("Retry-After"), err)
 	}
 	var env errorEnvelope
 	if err := json.Unmarshal(body, &env); err != nil {
@@ -418,6 +421,57 @@ func TestSaturationReturns429(t *testing.T) {
 	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.Rejected != 1 {
 		t.Errorf("rejected counter = %d, want 1", st.Rejected)
+	}
+}
+
+// TestRetryAfterDerivation pins the one shared backoff formula both
+// 429 sites use: always an integer >= 1, scaling with queued depth,
+// clamped to a minute.
+func TestRetryAfterDerivation(t *testing.T) {
+	cases := []struct{ depth, slots, want int }{
+		{0, 8, 1},
+		{-3, 8, 1},                             // defensive: negative depth never underflows
+		{7, 8, 1},                              // under one pool's worth: retry quickly
+		{8, 8, 2},                              // one full pool queued
+		{40, 8, 6},                             // deep backlog pushes clients out further
+		{1024, 8, 60} /* clamp */, {10, 0, 11}, // zero slots never divides by zero
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.depth, c.slots); got != c.want {
+			t.Errorf("retryAfterSecs(%d, %d) = %d, want %d", c.depth, c.slots, got, c.want)
+		}
+	}
+	// Monotone in depth: more backlog never shortens the advice.
+	prev := 0
+	for depth := 0; depth < 200; depth += 7 {
+		got := retryAfterSecs(depth, 4)
+		if got < prev {
+			t.Fatalf("retryAfterSecs not monotone at depth %d: %d < %d", depth, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestQueueFull429HasParsableRetryAfter exercises the job-queue 429
+// writer directly: the envelope code and a load-derived, parseable
+// Retry-After.
+func TestQueueFull429HasParsableRetryAfter(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := httptest.NewRecorder()
+	s.writeQueueFull(rec)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if secs, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1 (%v)", rec.Header().Get("Retry-After"), err)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != CodeQueueFull {
+		t.Errorf("body = %s (%v)", rec.Body.Bytes(), err)
 	}
 }
 

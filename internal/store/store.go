@@ -39,6 +39,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dabench/internal/platform"
 )
@@ -79,7 +80,19 @@ type Stats struct {
 type indexEntry struct {
 	size int64
 	used int64 // LRU tick; larger = more recent
+	// touched is the blob file's last known mtime (UnixNano). Load
+	// refreshes the mtime of hit blobs when it is older than
+	// touchDebounce, so the mtime-derived LRU order a restart rebuilds
+	// reflects reads, not just writes.
+	touched int64
 }
+
+// touchDebounce is how stale a hit blob's mtime may get before Load
+// refreshes it. Recency only needs to survive restarts at eviction
+// granularity, so one utime per blob per minute is plenty — a hot
+// blob's mtime stays within a minute of its last read at almost no
+// syscall cost.
+const touchDebounce = time.Minute
 
 type putReq struct {
 	name  string
@@ -162,7 +175,7 @@ func (s *Store) load() error {
 	sort.Slice(blobs, func(i, j int) bool { return blobs[i].mtime < blobs[j].mtime })
 	for _, b := range blobs {
 		s.clock++
-		s.index[b.name] = &indexEntry{size: b.size, used: s.clock}
+		s.index[b.name] = &indexEntry{size: b.size, used: s.clock, touched: b.mtime}
 		s.bytes += b.size
 	}
 	return nil
@@ -222,14 +235,25 @@ func (s *Store) Load(platformName, specKey string) (platform.Stored, bool) {
 	}
 	if !indexed {
 		// A sibling process's write, discovered after our scan: adopt
-		// it so the size gauges and LRU order see it from now on.
+		// it so the size gauges and LRU order see it from now on — and
+		// enforce the budget right here, because a stream of sibling
+		// writes would otherwise grow the footprint unchecked until
+		// this process's next own write. The on-disk mtime is refreshed
+		// too: the sibling may have written the blob long ago, and this
+		// read's recency must survive a restart like any other hit's.
+		now := time.Now()
 		s.mu.Lock()
 		if _, ok := s.index[name]; !ok {
 			s.clock++
-			s.index[name] = &indexEntry{size: int64(len(data)), used: s.clock}
+			s.index[name] = &indexEntry{size: int64(len(data)), used: s.clock, touched: now.UnixNano()}
 			s.bytes += int64(len(data))
 		}
+		victims := s.evictLocked()
 		s.mu.Unlock()
+		s.remove(victims)
+		_ = os.Chtimes(s.path(name), now, now)
+	} else {
+		s.maybeTouch(name)
 	}
 	if b.Run != nil {
 		// The blob stores the run report detached from its compile
@@ -242,6 +266,35 @@ func (s *Store) Load(platformName, specKey string) (platform.Stored, bool) {
 		Compile: b.Compile, Run: b.Run,
 		Failed: b.Failed, FailReason: b.FailReason,
 	}, true
+}
+
+// maybeTouch refreshes a hit blob's file mtime when it has gone stale
+// (debounced by touchDebounce), keeping the restart-rebuilt LRU order
+// honest: without it the order Open derives from mtimes is write-time
+// FIFO, and a hot-but-old blob is the first eviction victim after a
+// restart.
+func (s *Store) maybeTouch(name string) {
+	now := time.Now()
+	s.mu.Lock()
+	e, ok := s.index[name]
+	if !ok || now.UnixNano()-e.touched < int64(touchDebounce) {
+		s.mu.Unlock()
+		return
+	}
+	e.touched = now.UnixNano()
+	s.mu.Unlock()
+	// Best effort outside the lock: a failed utime costs restart
+	// recency only, never correctness.
+	_ = os.Chtimes(s.path(name), now, now)
+}
+
+// remove deletes evicted blob files and counts the evictions; called
+// outside the index lock.
+func (s *Store) remove(victims []string) {
+	for _, v := range victims {
+		_ = os.Remove(s.path(v))
+		s.evictions.Add(1)
+	}
 }
 
 // drop removes a blob from the index (and best-effort from disk),
@@ -343,20 +396,19 @@ func (s *Store) write(r putReq) {
 
 	s.mu.Lock()
 	s.clock++
+	now := time.Now().UnixNano()
 	if e, ok := s.index[r.name]; ok {
 		s.bytes += int64(len(r.data)) - e.size
 		e.size = int64(len(r.data))
 		e.used = s.clock
+		e.touched = now
 	} else {
-		s.index[r.name] = &indexEntry{size: int64(len(r.data)), used: s.clock}
+		s.index[r.name] = &indexEntry{size: int64(len(r.data)), used: s.clock, touched: now}
 		s.bytes += int64(len(r.data))
 	}
 	victims := s.evictLocked()
 	s.mu.Unlock()
-	for _, v := range victims {
-		_ = os.Remove(s.path(v))
-		s.evictions.Add(1)
-	}
+	s.remove(victims)
 }
 
 // evictLocked selects least-recently-used blobs until the footprint is

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strconv"
 	"testing"
+	"time"
 
 	"dabench/internal/model"
 	"dabench/internal/platform"
@@ -258,6 +259,129 @@ func TestBlobWithNilCompileIsCorrupt(t *testing.T) {
 	}
 	if st := s.Stats(); st.Corrupt != 1 {
 		t.Errorf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+}
+
+// TestReadRecencySurvivesRestart is the LRU-recency regression: Load
+// must refresh a hit blob's file mtime (debounced), because Open
+// rebuilds eviction order from mtimes — without the refresh, a
+// hot-but-old blob is evicted before a cold-but-newer one after a
+// restart.
+func TestReadRecencySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	hot, cold := testSpec(11), testSpec(12)
+	s := mustOpen(t, dir, 0)
+	s.Store("WSE-2", hot.Key(), testStored(11))
+	s.Store("WSE-2", cold.Key(), testStored(12))
+	s.Snapshot()
+	one := s.Stats().Bytes / 2
+	if one <= 0 {
+		t.Fatal("probe entries have no size")
+	}
+	s.Close()
+
+	// Age both blobs past the touch debounce; make hot the *older* of
+	// the two so write-time order alone would evict it first.
+	now := time.Now()
+	hotPath := pathFor(dir, "WSE-2", hot.Key())
+	coldPath := pathFor(dir, "WSE-2", cold.Key())
+	if err := os.Chtimes(hotPath, now.Add(-2*time.Hour), now.Add(-2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(coldPath, now.Add(-time.Hour), now.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	// One life reads the hot blob: the hit must refresh its mtime.
+	s2 := mustOpen(t, dir, 0)
+	if _, ok := s2.Load("WSE-2", hot.Key()); !ok {
+		t.Fatal("hot blob missing")
+	}
+	s2.Close()
+	if fi, err := os.Stat(hotPath); err != nil || now.Sub(fi.ModTime()) > time.Minute {
+		t.Fatalf("hot blob mtime not refreshed on hit: %v (err %v)", fi.ModTime(), err)
+	}
+
+	// The restart: over-fill the budget so exactly the stalest blob
+	// goes. The hot (read) blob must survive; the cold one must not.
+	s3 := mustOpen(t, dir, 4*one+one/2)
+	for l := 13; l <= 15; l++ {
+		s3.Store("WSE-2", testSpec(l).Key(), testStored(l))
+	}
+	s3.Snapshot()
+	if st := s3.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions despite over-filling the budget: %+v", st)
+	}
+	if _, err := os.Stat(hotPath); err != nil {
+		t.Error("hot blob evicted despite its read recency")
+	}
+	if _, err := os.Stat(coldPath); !os.IsNotExist(err) {
+		t.Error("cold blob survived eviction ahead of fresher entries")
+	}
+}
+
+func pathFor(dir, platformName, specKey string) string {
+	name := address(platformName, specKey)
+	return filepath.Join(dir, name[:2], name+".json")
+}
+
+// TestAdoptionEnforcesBudget is the sibling-adoption regression: blobs
+// written by another process and adopted on Load must not grow the
+// footprint past the budget until the next local write — adoption runs
+// eviction itself.
+func TestAdoptionEnforcesBudget(t *testing.T) {
+	dir := t.TempDir()
+	probe := mustOpen(t, dir, 0)
+	probe.Store("WSE-2", testSpec(1).Key(), testStored(1))
+	probe.Snapshot()
+	one := probe.Stats().Bytes
+	if one <= 0 {
+		t.Fatal("probe entry has no size")
+	}
+
+	budget := 2*one + one/2
+	b := mustOpen(t, dir, budget) // scanned one entry, well under budget
+	for l := 2; l <= 5; l++ {
+		probe.Store("WSE-2", testSpec(l).Key(), testStored(l))
+	}
+	probe.Snapshot()
+	for l := 2; l <= 5; l++ {
+		if _, ok := b.Load("WSE-2", testSpec(l).Key()); !ok {
+			t.Fatalf("sibling blob %d invisible", l)
+		}
+	}
+	st := b.Stats()
+	if st.Bytes > budget {
+		t.Errorf("adoption left %d bytes in a %d-byte budget", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions despite adopting past the budget")
+	}
+}
+
+// TestAdoptionRefreshesMtime: adopting a sibling-written blob is a
+// read like any other, so its on-disk mtime must be refreshed — an
+// old sibling blob read through adoption has to carry that recency
+// across a restart exactly like an indexed hit does.
+func TestAdoptionRefreshesMtime(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(12)
+	a := mustOpen(t, dir, 0)
+	b := mustOpen(t, dir, 0) // scanned an empty dir
+	a.Store("WSE-2", spec.Key(), testStored(12))
+	a.Snapshot()
+
+	// The sibling's blob is old by the time this process reads it.
+	path := pathFor(dir, "WSE-2", spec.Key())
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Load("WSE-2", spec.Key()); !ok {
+		t.Fatal("sibling blob invisible")
+	}
+	if fi, err := os.Stat(path); err != nil || time.Since(fi.ModTime()) > time.Minute {
+		t.Errorf("adopted blob mtime not refreshed: %v (err %v)", fi.ModTime(), err)
 	}
 }
 
