@@ -10,6 +10,17 @@
 //	         [-timeout 2m] [-drain-timeout 15s] [-max-sweep-points 1024]
 //	         [-data-dir DIR] [-store-budget BYTES]
 //	         [-job-workers N] [-max-job-points 1048576]
+//	         [-chunk-retries 3] [-chunk-retry-backoff 50ms]
+//	         [-allow-faults -fault-spec SPEC]
+//
+// For resilience testing the daemon can run with deliberate fault
+// injection: -fault-spec takes a JSON spec (inline or a file path)
+// describing which internal operations fail, how, and how often, and
+// refuses to load unless -allow-faults acknowledges the intent. Under
+// injected faults the daemon degrades rather than fails: store I/O is
+// retried and circuit-broken, failing job chunks are retried then
+// quarantined into a failed_chunks manifest, and /healthz reports
+// per-component degraded state. See DESIGN.md "Failure model".
 //
 // With -data-dir the daemon is durable: compile/run results persist in
 // a content-addressed store under DIR/store (so a restart answers
@@ -45,6 +56,7 @@ import (
 	"time"
 
 	"dabench/internal/experiments"
+	"dabench/internal/faults"
 	"dabench/internal/server"
 	"dabench/internal/store"
 	"dabench/internal/sweep"
@@ -69,6 +81,10 @@ func run(args []string) error {
 	storeBudget := fs.Int64("store-budget", 256<<20, "result-store on-disk byte budget (LRU eviction; <= 0 = unbounded)")
 	jobWorkers := fs.Int("job-workers", 0, "background sweep pool size for async jobs (0 = half of -parallel)")
 	maxJobPoints := fs.Int("max-job-points", 1<<20, "hard cap on one /v1/jobs cross product")
+	chunkRetries := fs.Int("chunk-retries", 0, "attempts per failed job chunk before quarantine (0 = default 3)")
+	chunkBackoff := fs.Duration("chunk-retry-backoff", 0, "initial backoff between chunk attempts (0 = default 50ms)")
+	faultSpec := fs.String("fault-spec", "", "fault-injection spec: inline JSON or a file path (requires -allow-faults)")
+	allowFaults := fs.Bool("allow-faults", false, "acknowledge that -fault-spec deliberately injects failures")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +109,26 @@ func run(args []string) error {
 	if *maxJobPoints < 1 {
 		return fmt.Errorf("-max-job-points must be >= 1, got %d", *maxJobPoints)
 	}
+	if *chunkRetries < 0 {
+		return fmt.Errorf("-chunk-retries must be >= 0, got %d", *chunkRetries)
+	}
+
+	// The injector deliberately breaks things; a daemon must never pick
+	// one up by accident (a stale wrapper script, a copy-pasted unit
+	// file), so the spec refuses to load without the explicit -allow-faults
+	// acknowledgement.
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		if !*allowFaults {
+			return errors.New("-fault-spec injects failures on purpose; pass -allow-faults to confirm")
+		}
+		var err error
+		if inj, err = faults.Load(*faultSpec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dabenchd: FAULT INJECTION ACTIVE (%d rules, seed %d)\n",
+			len(inj.Stats().Rules), inj.Stats().Seed)
+	}
 
 	sweep.SetDefaultWorkers(*parallel)
 	inflight := *maxInflight
@@ -101,14 +137,23 @@ func run(args []string) error {
 	}
 
 	cfg := server.Config{
-		MaxInFlight:     inflight,
-		RequestTimeout:  *timeout,
-		MaxSweepPoints:  *maxPoints,
-		JobSweepWorkers: *jobWorkers,
-		MaxJobPoints:    *maxJobPoints,
+		MaxInFlight:       inflight,
+		RequestTimeout:    *timeout,
+		MaxSweepPoints:    *maxPoints,
+		JobSweepWorkers:   *jobWorkers,
+		MaxJobPoints:      *maxJobPoints,
+		ChunkRetries:      *chunkRetries,
+		ChunkRetryBackoff: *chunkBackoff,
+		Injector:          inj,
 	}
+	// The one injector reaches every hook tier: the store's I/O sites
+	// (via Options), the compile path (via the experiments seam), and
+	// the job journal + chunk executor (via server.Config above).
+	experiments.SetFaultInjector(inj)
+	defer experiments.SetFaultInjector(nil)
 	if *dataDir != "" {
-		st, err := store.Open(filepath.Join(*dataDir, "store"), *storeBudget)
+		st, err := store.OpenOptions(filepath.Join(*dataDir, "store"),
+			store.Options{Budget: *storeBudget, Injector: inj})
 		if err != nil {
 			return err
 		}

@@ -21,6 +21,7 @@ func TestFlagValidation(t *testing.T) {
 		{"negative job workers", []string{"-job-workers", "-1"}, "-job-workers"},
 		{"huge job workers", []string{"-job-workers", "100000"}, "-job-workers"},
 		{"zero job points", []string{"-max-job-points", "0"}, "-max-job-points"},
+		{"negative chunk retries", []string{"-chunk-retries", "-1"}, "-chunk-retries"},
 		{"stray argument", []string{"stray"}, "unexpected argument"},
 	}
 	for _, tc := range cases {

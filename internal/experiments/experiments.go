@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dabench/internal/core"
+	"dabench/internal/faults"
 	"dabench/internal/gpu"
 	"dabench/internal/graph"
 	"dabench/internal/ipu"
@@ -101,6 +102,15 @@ func SetResultStore(rs platform.ResultStore) {
 	defer platMu.Unlock()
 	resultStore = rs
 	rebuildLocked()
+}
+
+// SetFaultInjector mounts (or, with nil, unmounts) a fault injector on
+// the shared pipeline: the compile hook inside every cached platform.
+// It rides beside SetResultStore as the one seam both CLIs use, so a
+// -fault-spec flag reaches every tier the store's own Options.Injector
+// does not cover.
+func SetFaultInjector(in *faults.Injector) {
+	platform.SetFaultInjector(in)
 }
 
 func rebuildLocked() {

@@ -36,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dabench/internal/faults"
 )
 
 // State is a job's lifecycle position.
@@ -75,6 +77,9 @@ type Config struct {
 	// QueueDepth bounds accepted-but-unstarted jobs (default 1024);
 	// past it Submit returns ErrQueueFull.
 	QueueDepth int
+	// Injector is the optional fault-injection hook fired at the
+	// journal's write/fsync sites. Nil injects nothing.
+	Injector *faults.Injector
 }
 
 // Errors returned by the manager's accessors.
@@ -145,6 +150,9 @@ type Gauges struct {
 	// counts journal lines dropped as corrupt during that replay.
 	Replayed int64 `json:"replayed,omitempty"`
 	Torn     int64 `json:"torn_records,omitempty"`
+	// Journal is the journal's durability health; nil for an ephemeral
+	// (Dir == "") manager, which has no journal to degrade.
+	Journal *JournalHealth `json:"journal,omitempty"`
 }
 
 // Manager owns the job table, the journal and the background workers.
@@ -204,7 +212,7 @@ func Open(cfg Config) (*Manager, error) {
 		if revived, err = m.replay(); err != nil {
 			return nil, err
 		}
-		j, err := openJournal(filepath.Join(cfg.Dir, "journal.jsonl"))
+		j, err := openJournal(filepath.Join(cfg.Dir, "journal.jsonl"), cfg.Injector)
 		if err != nil {
 			return nil, err
 		}
@@ -451,6 +459,10 @@ func (m *Manager) Stats() Gauges {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	g := Gauges{Replayed: m.replayed, Torn: m.torn}
+	if m.journal != nil {
+		h := m.journal.health()
+		g.Journal = &h
+	}
 	for _, j := range m.jobs {
 		switch j.state {
 		case StateQueued:

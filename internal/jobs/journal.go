@@ -6,10 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"dabench/internal/faults"
 )
 
 // Journal events, one per job state transition (plus progress beats
@@ -42,20 +45,58 @@ type record struct {
 	Error   string          `json:"error,omitempty"`
 }
 
+// Journal degraded-mode tuning: journalDegradeThreshold consecutive
+// write/fsync failures flip the journal to degraded (in-memory-only)
+// mode; while degraded, every journalProbeInterval-th append is let
+// through as a probe, and one success restores durable operation.
+const (
+	journalDegradeThreshold = 3
+	journalProbeInterval    = 64
+)
+
+// JournalHealth is the journal's observable durability state — the
+// "journal" component in /healthz and /v1/stats.
+type JournalHealth struct {
+	// Degraded means the journal has given up on the underlying file
+	// after sustained failures: job state is in-memory only until a
+	// probe append succeeds. The job pipeline keeps running — replay
+	// after a crash loses what was skipped, nothing else.
+	Degraded     bool  `json:"degraded"`
+	AppendErrors int64 `json:"append_errors,omitempty"`
+	SyncErrors   int64 `json:"sync_errors,omitempty"`
+	// Skipped counts records dropped while degraded; Recoveries counts
+	// degraded → healthy transitions won by a probe.
+	Skipped    int64 `json:"skipped,omitempty"`
+	Recoveries int64 `json:"recoveries,omitempty"`
+}
+
 // journal is the append-only JSONL log. One writer (the manager, under
 // its own locking for ordering) appends whole lines; fsync is reserved
 // for records replay correctness depends on.
+//
+// A failed append or fsync degrades durability, not liveness: the
+// in-memory state machine stays authoritative for this process's
+// lifetime. Failures are counted and, past a consecutive-failure
+// threshold, flip the journal to a degraded in-memory mode that stops
+// hammering the failing device; periodic probe appends restore it.
 type journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu  sync.Mutex
+	f   *os.File
+	inj *faults.Injector // nil in production
+
+	appendErrs, syncErrs, skipped, recoveries int64
+
+	consecutive int
+	degraded    bool
+	sinceProbe  int
 }
 
-func openJournal(path string) (*journal, error) {
+func openJournal(path string, inj *faults.Injector) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: journal: %w", err)
 	}
-	return &journal{f: f}, nil
+	return &journal{f: f, inj: inj}, nil
 }
 
 func (j *journal) append(r record, sync bool) {
@@ -69,13 +110,81 @@ func (j *journal) append(r record, sync bool) {
 	if j.f == nil {
 		return
 	}
-	// A failed append degrades durability, not liveness: the in-memory
-	// state machine stays authoritative for this process's lifetime.
-	if _, err := j.f.Write(data); err != nil {
+	if j.degraded {
+		j.sinceProbe++
+		if j.sinceProbe < journalProbeInterval {
+			j.skipped++
+			return
+		}
+		j.sinceProbe = 0 // this append is the recovery probe
+	}
+	if err := j.writeLine(data); err != nil {
+		j.appendErrs++
+		j.noteFailure(err)
 		return
 	}
 	if sync {
-		_ = j.f.Sync()
+		if err := j.syncFile(); err != nil {
+			j.syncErrs++
+			j.noteFailure(err)
+			return
+		}
+	}
+	j.noteSuccess()
+}
+
+// writeLine is the injectable journal-write site.
+func (j *journal) writeLine(data []byte) error {
+	if err := j.inj.Fire(faults.OpJournalAppend); err != nil {
+		return err
+	}
+	_, err := j.f.Write(data)
+	return err
+}
+
+// syncFile is the injectable journal-fsync site.
+func (j *journal) syncFile() error {
+	if err := j.inj.Fire(faults.OpJournalSync); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// noteFailure extends the consecutive-failure run and flips to
+// degraded mode at the threshold, logging once per transition — a
+// sustained journal failure must be visible in the daemon log, not
+// silently swallowed. Caller holds mu.
+func (j *journal) noteFailure(err error) {
+	j.consecutive++
+	if !j.degraded && j.consecutive >= journalDegradeThreshold {
+		j.degraded = true
+		j.sinceProbe = 0
+		log.Printf("jobs: journal degraded after %d consecutive failures (last: %v); "+
+			"job state is in-memory only until a probe append succeeds", j.consecutive, err)
+	}
+}
+
+// noteSuccess resets the failure run; a success while degraded is a
+// won probe and restores durable operation. Caller holds mu.
+func (j *journal) noteSuccess() {
+	j.consecutive = 0
+	if j.degraded {
+		j.degraded = false
+		j.recoveries++
+		log.Printf("jobs: journal recovered; durable appends resume")
+	}
+}
+
+// health snapshots the journal's durability counters.
+func (j *journal) health() JournalHealth {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalHealth{
+		Degraded:     j.degraded,
+		AppendErrors: j.appendErrs,
+		SyncErrors:   j.syncErrs,
+		Skipped:      j.skipped,
+		Recoveries:   j.recoveries,
 	}
 }
 
@@ -83,7 +192,9 @@ func (j *journal) close() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f != nil {
-		_ = j.f.Sync()
+		if err := j.f.Sync(); err != nil {
+			j.syncErrs++
+		}
 		_ = j.f.Close()
 		j.f = nil
 	}

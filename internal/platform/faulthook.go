@@ -1,0 +1,27 @@
+package platform
+
+import (
+	"sync/atomic"
+
+	"dabench/internal/faults"
+)
+
+// faultInjector is the package-wide compile fault hook. It lives at
+// package scope (not per cached wrapper) because the cached platforms
+// are rebuilt whenever the result-store seam changes, and the injector
+// must survive those rebuilds; an atomic pointer keeps the production
+// fast path at one load + nil compare.
+var faultInjector atomic.Pointer[faults.Injector]
+
+// SetFaultInjector installs (or, with nil, removes) the fault injector
+// consulted by every cached platform's Compile. Test and -allow-faults
+// wiring only; production never calls it.
+func SetFaultInjector(in *faults.Injector) {
+	faultInjector.Store(in)
+}
+
+// fireCompileFault evaluates the compile-op fault rules, if an
+// injector is mounted.
+func fireCompileFault() error {
+	return faultInjector.Load().Fire(faults.OpCompile)
+}

@@ -1,0 +1,49 @@
+package platform
+
+import (
+	"testing"
+
+	"dabench/internal/faults"
+)
+
+// TestInjectedCompileFaultIsNotCached pins the hook placement: the
+// fault fires outside the memo cell, so a transient injected failure
+// never poisons the cached outcome for its spec.
+func TestInjectedCompileFaultIsNotCached(t *testing.T) {
+	in, err := faults.New(faults.Spec{Rules: []faults.Rule{
+		{Op: faults.OpCompile, Kind: faults.KindEIO, Count: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetFaultInjector(in)
+	defer SetFaultInjector(nil)
+
+	p := &countingPlatform{}
+	c := Cached(p)
+	spec := TrainSpec{Batch: 1, Seq: 1}
+
+	if _, err := c.Compile(spec); !faults.IsInjected(err) {
+		t.Fatalf("first compile err = %v, want injected fault", err)
+	}
+	if p.compiles.Load() != 0 {
+		t.Fatalf("underlying compile ran %d times through a fired fault", p.compiles.Load())
+	}
+
+	// Budget spent: the same spec must now compile normally — the
+	// injected error was not captured by the error-caching memo cell.
+	cr, err := c.Compile(spec)
+	if err != nil || cr == nil {
+		t.Fatalf("second compile = (%v, %v), want success", cr, err)
+	}
+	if p.compiles.Load() != 1 {
+		t.Errorf("underlying compiles = %d, want 1", p.compiles.Load())
+	}
+}
+
+func TestNilFaultInjectorIsFastPath(t *testing.T) {
+	SetFaultInjector(nil)
+	if err := fireCompileFault(); err != nil {
+		t.Fatalf("unmounted hook fired: %v", err)
+	}
+}

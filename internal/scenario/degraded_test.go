@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"dabench/internal/experiments"
+	"dabench/internal/faults"
+	"dabench/internal/store"
+)
+
+// TestRunByteIdenticalUnderStoreWriteFaults pins the degraded-mode
+// invariance at the engine layer: with 30% of result-store writes
+// failing, a scenario's rendered output must be byte-identical to the
+// fault-free run. The store is an optimization tier — losing writes
+// may cost future cache hits, never correctness.
+func TestRunByteIdenticalUnderStoreWriteFaults(t *testing.T) {
+	sc, ok := ByName("cross-platform-throughput")
+	if !ok {
+		t.Fatal("library scenario cross-platform-throughput missing")
+	}
+
+	experiments.ResetCaches()
+	clean, err := Run(context.Background(), sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := clean.Render(&want, false); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := faults.New(faults.Spec{Seed: 42, Rules: []faults.Rule{
+		{Op: faults.OpStoreWrite, Kind: faults.KindEIO, Probability: 0.3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.OpenOptions(t.TempDir(), store.Options{
+		RetryAttempts: 1, RetryBackoff: time.Millisecond, Injector: in,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.ResetCaches()
+	experiments.SetResultStore(st)
+	defer func() {
+		experiments.SetResultStore(nil)
+		experiments.ResetCaches()
+		st.Close()
+	}()
+
+	faulted, err := Run(context.Background(), sc, RunOptions{})
+	if err != nil {
+		t.Fatalf("scenario failed under store-write faults: %v", err)
+	}
+	var got bytes.Buffer
+	if err := faulted.Render(&got, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Errorf("store-write faults changed the render:\nclean:\n%s\nfaulted:\n%s", &want, &got)
+	}
+
+	// The invariance proves nothing if no fault actually fired.
+	st.Snapshot() // drain the write-behind queue so every write was evaluated
+	if fired := in.Stats().Fired; fired == 0 {
+		t.Error("no store-write faults fired — pick a different seed")
+	}
+}

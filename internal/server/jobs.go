@@ -9,7 +9,9 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
+	"dabench/internal/faults"
 	"dabench/internal/jobs"
 	"dabench/internal/platform"
 	"dabench/internal/report"
@@ -19,8 +21,47 @@ import (
 
 // jobChunk is how many points one journal/progress beat covers: large
 // enough to amortize the bookkeeping, small enough that progress and
-// cancellation stay responsive.
+// cancellation stay responsive. It is also the retry/quarantine unit:
+// a failing chunk is retried whole and, past the budget, quarantined
+// whole.
 const jobChunk = 256
+
+// runChunk executes one job chunk [lo, hi) under the chunk retry
+// policy: a hard error (anything sweep.Tolerating lets through) backs
+// off and retries the whole chunk up to Config.ChunkRetries attempts.
+// Point compiles are memoized, so a retry only re-runs what actually
+// failed. Context errors are never retried — cancellation must stay
+// prompt. Returns the outcomes, the attempts consumed, and the final
+// error if the budget ran dry.
+func (s *Server) runChunk(ctx context.Context, a *sweepAxes, lo, hi int) ([]sweep.Outcome[RunResult], int, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		err := s.cfg.Injector.Fire(faults.OpChunkRun)
+		var outs []sweep.Outcome[RunResult]
+		if err == nil {
+			outs, err = sweep.MapN(ctx, hi-lo, func(_ context.Context, i int) (RunResult, error) {
+				spec, _, err := a.point(lo + i)
+				if err != nil {
+					return RunResult{}, err
+				}
+				return runPoint(a.p, spec)
+			}, sweep.Workers(s.cfg.JobSweepWorkers), sweep.Tolerating(platform.IsCompileFailure))
+		}
+		if err == nil {
+			return outs, attempt, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || attempt >= s.cfg.ChunkRetries {
+			return nil, attempt, lastErr
+		}
+		s.chunkRetries.Add(1)
+		select {
+		case <-time.After(s.cfg.ChunkRetryBackoff << (attempt - 1)):
+		case <-ctx.Done():
+			return nil, attempt, lastErr
+		}
+	}
+}
 
 // handleJobSubmit accepts a SweepRequest of (nearly) any size for
 // asynchronous execution: validation is synchronous and strict — a bad
@@ -245,15 +286,24 @@ func (s *Server) runJob(ctx context.Context, raw json.RawMessage, progress func(
 	resp.Results = make([]RunResult, 0, n)
 	for lo := 0; lo < n; lo += jobChunk {
 		hi := min(lo+jobChunk, n)
-		outs, err := sweep.MapN(ctx, hi-lo, func(_ context.Context, i int) (RunResult, error) {
-			spec, _, err := a.point(lo + i)
-			if err != nil {
-				return RunResult{}, err
-			}
-			return runPoint(a.p, spec)
-		}, sweep.Workers(s.cfg.JobSweepWorkers), sweep.Tolerating(platform.IsCompileFailure))
+		outs, attempts, err := s.runChunk(ctx, a, lo, hi)
 		if err != nil {
-			return nil, err
+			if ctx.Err() != nil {
+				// Cancellation and shutdown keep their wholesale semantics:
+				// the manager turns them into cancelled/revived, and a
+				// quarantine entry would misclassify them as poison.
+				return nil, err
+			}
+			// Poison chunk: quarantine it and keep going. The job finishes
+			// done with the surviving chunks' results plus this manifest —
+			// partial data beats losing an hours-long sweep to one chunk.
+			s.chunksQuarantined.Add(1)
+			resp.FailedChunks = append(resp.FailedChunks, ChunkFailure{
+				Chunk: lo / jobChunk, Start: lo, End: hi,
+				Attempts: attempts, Error: err.Error(),
+			})
+			progress(hi, resp.Failed)
+			continue
 		}
 		for i, o := range outs {
 			spec, label, _ := a.point(lo + i)
@@ -270,7 +320,8 @@ func (s *Server) runJob(ctx context.Context, raw json.RawMessage, progress func(
 	}
 
 	// Encode with the same settings writeJSON uses so the stored bytes
-	// equal a synchronous response body for the same points.
+	// equal a synchronous response body for the same points (a clean run
+	// omits failed_chunks, so the envelopes stay identical).
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)

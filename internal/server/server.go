@@ -38,6 +38,7 @@ import (
 
 	"dabench/internal/cachestats"
 	"dabench/internal/experiments"
+	"dabench/internal/faults"
 	"dabench/internal/jobs"
 	"dabench/internal/platform"
 	"dabench/internal/store"
@@ -76,6 +77,16 @@ type Config struct {
 	// hold their full result in memory while accumulating, so this is
 	// a memory bound, not a latency one.
 	MaxJobPoints int
+
+	// ChunkRetries is the total attempts per failed job chunk before it
+	// is quarantined (default 3); ChunkRetryBackoff the initial
+	// exponential backoff between attempts (default 50ms).
+	ChunkRetries      int
+	ChunkRetryBackoff time.Duration
+	// Injector is the optional fault injector: fired at the job
+	// executor's chunk boundary, handed to the job journal, and snap-
+	// shotted into /v1/stats. Nil injects nothing.
+	Injector *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +105,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobPoints <= 0 {
 		c.MaxJobPoints = 1 << 20
 	}
+	if c.ChunkRetries <= 0 {
+		c.ChunkRetries = 3
+	}
+	if c.ChunkRetryBackoff <= 0 {
+		c.ChunkRetryBackoff = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -110,6 +127,11 @@ type Stats struct {
 	Caches       map[string]cachestats.Snapshot `json:"caches"`
 	Store        *store.Stats                   `json:"store,omitempty"`
 	Jobs         *jobs.Gauges                   `json:"jobs,omitempty"`
+	// Resilience counters: chunk-level job retries and quarantines, plus
+	// the fault injector's fire counts when one is mounted.
+	ChunkRetries      int64         `json:"chunk_retries,omitempty"`
+	ChunksQuarantined int64         `json:"chunks_quarantined,omitempty"`
+	Faults            *faults.Stats `json:"faults,omitempty"`
 }
 
 // Server is the dabenchd HTTP handler. Create with New; the zero value
@@ -123,10 +145,12 @@ type Server struct {
 	// once at construction (the library is immutable).
 	scenarios []scenarioInfo
 
-	inFlight atomic.Int64
-	served   atomic.Int64
-	rejected atomic.Int64
-	start    time.Time
+	inFlight          atomic.Int64
+	served            atomic.Int64
+	rejected          atomic.Int64
+	chunkRetries      atomic.Int64
+	chunksQuarantined atomic.Int64
+	start             time.Time
 }
 
 // New builds a Server over the process-wide cached platform set,
@@ -140,7 +164,7 @@ func New(cfg Config) (*Server, error) {
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
 	}
-	jm, err := jobs.Open(jobs.Config{Dir: cfg.JobsDir, Run: s.runJob})
+	jm, err := jobs.Open(jobs.Config{Dir: cfg.JobsDir, Run: s.runJob, Injector: cfg.Injector})
 	if err != nil {
 		return nil, err
 	}
@@ -256,8 +280,61 @@ func (s *Server) setRetryAfter(w http.ResponseWriter, depth int) {
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(depth, cap(s.sem))))
 }
 
+// componentHealth is one subsystem's entry in the /healthz body.
+type componentHealth struct {
+	Status string `json:"status"` // ok | degraded | disabled
+	Detail string `json:"detail,omitempty"`
+}
+
+// healthResponse is the multi-state /healthz body. The HTTP status is
+// always 200 while the process serves — degradation is a body-level
+// fact, because a degraded daemon still answers every request (the
+// store and journal are optimization/durability tiers, not correctness
+// dependencies). Orchestrators that only check the status code see
+// liveness; ones that parse the body see the difference.
+type healthResponse struct {
+	Status     string                     `json:"status"` // ok | degraded
+	Components map[string]componentHealth `json:"components"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthResponse{Status: "ok", Components: map[string]componentHealth{}}
+
+	storeHealth := componentHealth{Status: "disabled", Detail: "serving RAM-only (no -data-dir)"}
+	if s.cfg.Store != nil {
+		storeHealth = componentHealth{Status: "ok"}
+		if s.cfg.Store.Degraded() {
+			storeHealth = componentHealth{Status: "degraded",
+				Detail: "a circuit breaker is open; serving from memo tiers and recompute"}
+		}
+	}
+	resp.Components["store"] = storeHealth
+
+	gauges := s.jobs.Stats()
+	journalHealth := componentHealth{Status: "disabled", Detail: "ephemeral job manager (no journal)"}
+	if gauges.Journal != nil {
+		journalHealth = componentHealth{Status: "ok"}
+		if gauges.Journal.Degraded {
+			journalHealth = componentHealth{Status: "degraded",
+				Detail: "journal writes failing; job state is in-memory only"}
+		}
+	}
+	resp.Components["journal"] = journalHealth
+
+	jobsHealth := componentHealth{Status: "ok"}
+	if q := s.chunksQuarantined.Load(); q > 0 {
+		jobsHealth = componentHealth{Status: "degraded",
+			Detail: strconv.FormatInt(q, 10) + " chunk(s) quarantined; affected jobs carry failed_chunks manifests"}
+	}
+	resp.Components["jobs"] = jobsHealth
+
+	for _, c := range resp.Components {
+		if c.Status == "degraded" {
+			resp.Status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -280,6 +357,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	gauges := s.jobs.Stats()
 	st.Jobs = &gauges
+	st.ChunkRetries = s.chunkRetries.Load()
+	st.ChunksQuarantined = s.chunksQuarantined.Load()
+	st.Faults = s.cfg.Injector.Stats()
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -338,6 +418,23 @@ type SweepResponse struct {
 	Points   int         `json:"points"`
 	Failed   int         `json:"failed"`
 	Results  []RunResult `json:"results"`
+	// FailedChunks is an async job's poison-chunk quarantine manifest:
+	// chunks that exhausted their retry budget. The job still finishes
+	// done — the listed point ranges are simply absent from Results.
+	// Always empty on synchronous sweeps (they fail wholesale instead,
+	// preserving their all-or-nothing contract).
+	FailedChunks []ChunkFailure `json:"failed_chunks,omitempty"`
+}
+
+// ChunkFailure is one quarantined chunk: the half-open point range
+// [Start, End) it covered, how many attempts it burned, and the final
+// error.
+type ChunkFailure struct {
+	Chunk    int    `json:"chunk"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {

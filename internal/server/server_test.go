@@ -62,10 +62,17 @@ func postRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, []
 
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t, Config{})
-	var got map[string]string
+	var got healthResponse
 	resp := getJSON(t, ts.URL+"/healthz", &got)
-	if resp.StatusCode != http.StatusOK || got["status"] != "ok" {
-		t.Errorf("healthz = %d %v", resp.StatusCode, got)
+	if resp.StatusCode != http.StatusOK || got.Status != "ok" {
+		t.Errorf("healthz = %d %+v", resp.StatusCode, got)
+	}
+	// RAM-only test server: the optional durability tiers report
+	// disabled, the always-on jobs subsystem ok.
+	if got.Components["store"].Status != "disabled" ||
+		got.Components["journal"].Status != "disabled" ||
+		got.Components["jobs"].Status != "ok" {
+		t.Errorf("components = %+v", got.Components)
 	}
 }
 

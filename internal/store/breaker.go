@@ -1,0 +1,145 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The store runs two independent breakers — one over
+// reads, one over writes — because the two paths fail independently (a
+// read-only mount breaks writes while reads stay healthy) and a shared
+// consecutive-failure counter would let one path's successes mask the
+// other path's sustained failures.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
+// breaker is a classic three-state circuit breaker over one I/O class.
+//
+//	closed    — operations flow; N consecutive failures trip it open.
+//	open      — operations are skipped outright (the caller degrades:
+//	            reads become misses, writes are dropped) until the
+//	            cooldown elapses.
+//	half-open — exactly one probe operation is let through; its success
+//	            closes the breaker, its failure re-opens it (and
+//	            restarts the cooldown).
+//
+// Tripping is what turns a sustained I/O failure from a per-operation
+// retry storm into one cheap state check: the store is an optimization
+// tier, so skipping it entirely is always correct — the memo tiers and
+// recompute keep serving.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures to trip
+	cooldown  time.Duration // open → half-open delay
+
+	state       int
+	consecutive int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+
+	trips, probes, recoveries int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether the next operation may touch the disk. In the
+// open state it transitions to half-open (admitting one probe) once the
+// cooldown has elapsed; while a probe is in flight everything else is
+// skipped.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.probes++
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		b.probes++
+		return true
+	}
+}
+
+// success records a completed operation: it closes a half-open breaker
+// (counting the recovery) and resets the consecutive-failure run.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.recoveries++
+	}
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// failure records a failed operation: a half-open probe failure re-opens
+// immediately, a closed-state run of threshold failures trips open.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.consecutive++
+	if b.state == breakerHalfOpen || b.consecutive >= b.threshold {
+		if b.state != breakerOpen {
+			b.trips++
+		}
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.consecutive = 0
+	}
+}
+
+// degraded reports whether the breaker is anything but closed.
+func (b *breaker) degraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}
+
+// BreakerStats is one breaker's observable state in Stats.
+type BreakerStats struct {
+	State string `json:"state"` // closed | open | half-open
+	// Trips counts transitions into the open state (including re-opens
+	// from a failed half-open probe).
+	Trips int64 `json:"trips"`
+	// Probes counts half-open admissions; Recoveries counts probes that
+	// closed the breaker.
+	Probes     int64 `json:"probes"`
+	Recoveries int64 `json:"recoveries"`
+	// ConsecutiveFailures is the current run toward the trip threshold.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+}
+
+func (b *breaker) stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State: breakerStateNames[b.state],
+		Trips: b.trips, Probes: b.probes, Recoveries: b.recoveries,
+		ConsecutiveFailures: b.consecutive,
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dabench/internal/faults"
 	"dabench/internal/platform"
 )
 
@@ -75,6 +77,17 @@ type Stats struct {
 	Entries     int64   `json:"entries"`
 	Bytes       int64   `json:"bytes"`
 	BudgetBytes int64   `json:"budget_bytes,omitempty"`
+	// Resilience counters: retry totals, operations skipped because a
+	// breaker was open, unlinks that failed (and were re-adopted so the
+	// byte accounting tracks the disk), and the two breakers' state.
+	ReadRetries   int64         `json:"read_retries,omitempty"`
+	WriteRetries  int64         `json:"write_retries,omitempty"`
+	SkippedReads  int64         `json:"skipped_reads,omitempty"`
+	SkippedWrites int64         `json:"skipped_writes,omitempty"`
+	EvictErrors   int64         `json:"evict_errors,omitempty"`
+	Degraded      bool          `json:"degraded,omitempty"`
+	ReadBreaker   *BreakerStats `json:"read_breaker,omitempty"`
+	WriteBreaker  *BreakerStats `json:"write_breaker,omitempty"`
 }
 
 type indexEntry struct {
@@ -106,18 +119,59 @@ type Store struct {
 	dir    string
 	budget int64 // bytes; <= 0 means unbounded
 
+	retryAttempts int
+	retryBackoff  time.Duration
+	inj           *faults.Injector // nil in production: one pointer compare per I/O
+	readBr        *breaker
+	writeBr       *breaker
+
 	mu    sync.Mutex
 	index map[string]*indexEntry
 	bytes int64
 	clock int64
 
-	hits, misses, puts         atomic.Int64
-	evictions, corrupt, wfails atomic.Int64
+	hits, misses, puts          atomic.Int64
+	evictions, corrupt, wfails  atomic.Int64
+	readRetries, writeRetries   atomic.Int64
+	skippedReads, skippedWrites atomic.Int64
+	evictErrors                 atomic.Int64
 
 	wq        chan putReq
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+}
+
+// Resilience defaults: three total attempts per I/O with a few
+// milliseconds of jittered backoff rides out blips; five consecutive
+// hard failures trip the breaker, and the half-open probe retries ten
+// seconds later. The store is an optimization tier, so every one of
+// these degrades to "recompute" — never to an error the caller sees.
+const (
+	defaultRetryAttempts    = 3
+	defaultRetryBackoff     = 2 * time.Millisecond
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 10 * time.Second
+)
+
+// Options tunes OpenOptions beyond the directory.
+type Options struct {
+	// Budget bounds the on-disk footprint in bytes; <= 0 = unbounded.
+	Budget int64
+	// RetryAttempts is the total attempts per blob read or write before
+	// the operation counts as failed (default 3).
+	RetryAttempts int
+	// RetryBackoff is the initial exponential backoff between attempts,
+	// with ±50% jitter (default 2ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// breaker (default 5); BreakerCooldown the open → half-open delay
+	// (default 10s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Injector is the optional fault-injection hook fired at the store's
+	// read/write/remove syscall sites. Nil injects nothing.
+	Injector *faults.Injector
 }
 
 // Open loads the store rooted at dir (created if absent), rebuilding
@@ -127,15 +181,32 @@ type Store struct {
 // bytes (<= 0: unbounded); when exceeded, least-recently-used blobs
 // are evicted.
 func Open(dir string, budget int64) (*Store, error) {
+	return OpenOptions(dir, Options{Budget: budget})
+}
+
+// OpenOptions is Open with the resilience knobs (retry policy, breaker
+// tuning, fault injection) exposed.
+func OpenOptions(dir string, o Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	if o.RetryAttempts < 1 {
+		o.RetryAttempts = defaultRetryAttempts
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = defaultRetryBackoff
+	}
 	s := &Store{
-		dir:    dir,
-		budget: budget,
-		index:  map[string]*indexEntry{},
-		wq:     make(chan putReq, 1024),
-		done:   make(chan struct{}),
+		dir:           dir,
+		budget:        o.Budget,
+		retryAttempts: o.RetryAttempts,
+		retryBackoff:  o.RetryBackoff,
+		inj:           o.Injector,
+		readBr:        newBreaker(o.BreakerThreshold, o.BreakerCooldown),
+		writeBr:       newBreaker(o.BreakerThreshold, o.BreakerCooldown),
+		index:         map[string]*indexEntry{},
+		wq:            make(chan putReq, 1024),
+		done:          make(chan struct{}),
 	}
 	if err := s.load(); err != nil {
 		return nil, err
@@ -143,6 +214,12 @@ func Open(dir string, budget int64) (*Store, error) {
 	s.wg.Add(1)
 	go s.writer()
 	return s, nil
+}
+
+// Degraded reports whether either breaker is away from its closed
+// state — the store's contribution to /healthz.
+func (s *Store) Degraded() bool {
+	return s.readBr.degraded() || s.writeBr.degraded()
 }
 
 // load scans the shard tree into the index. Initial LRU order comes
@@ -203,6 +280,13 @@ func (s *Store) path(name string) string {
 // probed even on an index miss: another process sharing the directory
 // (a CLI run beside the daemon) may have written the blob after this
 // process's Open-time scan.
+//
+// Resilience: a transient read error (anything but ErrNotExist) is
+// retried with backoff; exhausting the retries feeds the read breaker
+// and reports a miss while leaving the blob in place — the bytes on
+// disk may be perfectly fine, only this read failed. With the read
+// breaker open the disk is not consulted at all: every lookup is an
+// immediate miss served by the memo tiers and recompute.
 func (s *Store) Load(platformName, specKey string) (platform.Stored, bool) {
 	name := address(platformName, specKey)
 	s.mu.Lock()
@@ -213,15 +297,28 @@ func (s *Store) Load(platformName, specKey string) (platform.Stored, bool) {
 	}
 	s.mu.Unlock()
 
-	data, err := os.ReadFile(s.path(name))
+	if !s.readBr.allow() {
+		s.skippedReads.Add(1)
+		s.misses.Add(1)
+		return platform.Stored{}, false
+	}
+
+	data, err := s.readBlob(s.path(name))
 	if err != nil {
-		// Evicted or torn between index check and read: a plain miss.
-		if indexed {
-			s.drop(name, !errors.Is(err, fs.ErrNotExist))
+		if errors.Is(err, fs.ErrNotExist) {
+			// Evicted or torn between index check and read: a plain miss
+			// over healthy I/O.
+			s.readBr.success()
+			if indexed {
+				s.drop(name, false)
+			}
+		} else {
+			s.readBr.failure()
 		}
 		s.misses.Add(1)
 		return platform.Stored{}, false
 	}
+	s.readBr.success()
 	var b blob
 	if err := json.Unmarshal(data, &b); err != nil ||
 		b.Version != PipelineVersion || b.Platform != platformName || b.SpecKey != specKey ||
@@ -288,25 +385,122 @@ func (s *Store) maybeTouch(name string) {
 	_ = os.Chtimes(s.path(name), now, now)
 }
 
+// readBlob reads one blob with the bounded retry policy: transient
+// errors back off and retry, ErrNotExist returns immediately (a
+// missing file is a fact, not a fault).
+func (s *Store) readBlob(path string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < s.retryAttempts; attempt++ {
+		if attempt > 0 {
+			s.readRetries.Add(1)
+			s.backoff(attempt)
+		}
+		data, err := s.readFile(path)
+		if err == nil {
+			return data, nil
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// readFile is the injectable read syscall site. An injected corruption
+// fault "succeeds" with garbage bytes, exercising the corrupt-blob
+// delete-and-miss path end to end.
+func (s *Store) readFile(path string) ([]byte, error) {
+	if s.inj != nil {
+		if err := s.inj.Fire(faults.OpStoreRead); err != nil {
+			if faults.IsCorrupt(err) {
+				return []byte("\x00not json"), nil
+			}
+			return nil, err
+		}
+	}
+	return os.ReadFile(path)
+}
+
+// removeFile is the injectable unlink syscall site.
+func (s *Store) removeFile(path string) error {
+	if s.inj != nil {
+		if err := s.inj.Fire(faults.OpStoreRemove); err != nil {
+			return err
+		}
+	}
+	return os.Remove(path)
+}
+
+// backoff sleeps the exponential retry delay for attempt (1-based)
+// with ±50% jitter, so concurrent retries against a recovering disk
+// do not stampede in lockstep.
+func (s *Store) backoff(attempt int) {
+	d := s.retryBackoff << (attempt - 1)
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d))))
+}
+
+// victim is one eviction candidate handed from evictLocked to remove:
+// the size rides along so a failed unlink can restore the accounting.
+type victim struct {
+	name string
+	size int64
+}
+
 // remove deletes evicted blob files and counts the evictions; called
 // outside the index lock.
-func (s *Store) remove(victims []string) {
+func (s *Store) remove(victims []victim) {
 	for _, v := range victims {
-		_ = os.Remove(s.path(v))
-		s.evictions.Add(1)
+		if s.unlink(v.name, v.size) {
+			s.evictions.Add(1)
+		}
 	}
+}
+
+// unlink removes a blob file from disk. When the unlink fails with the
+// file still present (EACCES, EIO), the entry is re-adopted into the
+// index at its known size, so s.bytes keeps tracking what is actually
+// on disk and a later eviction pass retries the removal — the
+// accounting can never silently drift below the real footprint.
+func (s *Store) unlink(name string, size int64) bool {
+	err := s.removeFile(s.path(name))
+	if err == nil || errors.Is(err, fs.ErrNotExist) {
+		return true
+	}
+	s.evictErrors.Add(1)
+	if size <= 0 {
+		if fi, serr := os.Stat(s.path(name)); serr == nil {
+			size = fi.Size()
+		}
+	}
+	if size <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	if _, ok := s.index[name]; !ok {
+		s.clock++
+		s.index[name] = &indexEntry{size: size, used: s.clock, touched: time.Now().UnixNano()}
+		s.bytes += size
+	}
+	s.mu.Unlock()
+	return false
 }
 
 // drop removes a blob from the index (and best-effort from disk),
 // optionally counting it as corruption.
 func (s *Store) drop(name string, isCorrupt bool) {
 	s.mu.Lock()
+	var size int64
 	if e, ok := s.index[name]; ok {
+		size = e.size
 		s.bytes -= e.size
 		delete(s.index, name)
 	}
 	s.mu.Unlock()
-	_ = os.Remove(s.path(name))
+	s.unlink(name, size)
 	if isCorrupt {
 		s.corrupt.Add(1)
 	}
@@ -370,28 +564,29 @@ func (s *Store) write(r putReq) {
 		close(r.flush)
 		return
 	}
-	path := s.path(r.name)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		s.wfails.Add(1)
+	if !s.writeBr.allow() {
+		// Write-path degraded mode: drop the blob. It is recomputable by
+		// definition, and a tripped breaker means the disk is hurting —
+		// draining the queue cheaply beats hammering a failing device.
+		s.skippedWrites.Add(1)
 		return
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	var err error
+	for attempt := 0; attempt < s.retryAttempts; attempt++ {
+		if attempt > 0 {
+			s.writeRetries.Add(1)
+			s.backoff(attempt)
+		}
+		if err = s.writeOnce(r.name, r.data); err == nil {
+			break
+		}
+	}
 	if err != nil {
 		s.wfails.Add(1)
+		s.writeBr.failure()
 		return
 	}
-	_, werr := tmp.Write(r.data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		_ = os.Remove(tmp.Name())
-		s.wfails.Add(1)
-		return
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		_ = os.Remove(tmp.Name())
-		s.wfails.Add(1)
-		return
-	}
+	s.writeBr.success()
 	s.puts.Add(1)
 
 	s.mu.Lock()
@@ -411,10 +606,42 @@ func (s *Store) write(r putReq) {
 	s.remove(victims)
 }
 
+// writeOnce is one atomic persist attempt (temp file + rename), with
+// the injectable write site in front.
+func (s *Store) writeOnce(name string, data []byte) error {
+	if s.inj != nil {
+		if err := s.inj.Fire(faults.OpStoreWrite); err != nil {
+			return err
+		}
+	}
+	path := s.path(name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
 // evictLocked selects least-recently-used blobs until the footprint is
 // back under budget, removing them from the index; the caller deletes
 // the files outside the lock.
-func (s *Store) evictLocked() []string {
+func (s *Store) evictLocked() []victim {
 	if s.budget <= 0 || s.bytes <= s.budget {
 		return nil
 	}
@@ -428,14 +655,14 @@ func (s *Store) evictLocked() []string {
 		cands = append(cands, cand{name, e.used, e.size})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].used < cands[j].used })
-	var victims []string
+	var victims []victim
 	for _, c := range cands {
 		if s.bytes <= s.budget {
 			break
 		}
 		delete(s.index, c.name)
 		s.bytes -= c.size
-		victims = append(victims, c.name)
+		victims = append(victims, victim{c.name, c.size})
 	}
 	return victims
 }
@@ -475,16 +702,25 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	entries, bytes := int64(len(s.index)), s.bytes
 	s.mu.Unlock()
+	readBr, writeBr := s.readBr.stats(), s.writeBr.stats()
 	st := Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Puts:        s.puts.Load(),
-		Evictions:   s.evictions.Load(),
-		Corrupt:     s.corrupt.Load(),
-		WriteErrors: s.wfails.Load(),
-		Entries:     entries,
-		Bytes:       bytes,
-		BudgetBytes: s.budget,
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Puts:          s.puts.Load(),
+		Evictions:     s.evictions.Load(),
+		Corrupt:       s.corrupt.Load(),
+		WriteErrors:   s.wfails.Load(),
+		Entries:       entries,
+		Bytes:         bytes,
+		BudgetBytes:   s.budget,
+		ReadRetries:   s.readRetries.Load(),
+		WriteRetries:  s.writeRetries.Load(),
+		SkippedReads:  s.skippedReads.Load(),
+		SkippedWrites: s.skippedWrites.Load(),
+		EvictErrors:   s.evictErrors.Load(),
+		Degraded:      s.Degraded(),
+		ReadBreaker:   &readBr,
+		WriteBreaker:  &writeBr,
 	}
 	if total := st.Hits + st.Misses; total > 0 {
 		st.HitRate = float64(st.Hits) / float64(total)
