@@ -8,10 +8,18 @@
 //
 //	dabenchd [-addr :8080] [-parallel N] [-max-inflight M]
 //	         [-timeout 2m] [-drain-timeout 15s] [-max-sweep-points 1024]
-//	         [-data-dir DIR] [-store-budget BYTES]
+//	         [-data-dir DIR] [-store-budget BYTES] [-resp-cache-budget BYTES]
 //	         [-job-workers N] [-max-job-points 1048576]
 //	         [-chunk-retries 3] [-chunk-retry-backoff 50ms]
 //	         [-allow-faults -fault-spec SPEC]
+//
+// Repeat requests ride the warm serve path: responses carry strong
+// ETags (If-None-Match revalidation answers 304 with no body and no
+// simulation slot), and the response-byte cache — bounded by
+// -resp-cache-budget, negative to disable — serves warm /v1/run,
+// /v1/sweep and scenario bodies as pre-marshaled bytes with zero JSON
+// work. With -data-dir the store's framed blobs keep those bytes
+// across restarts.
 //
 // For resilience testing the daemon can run with deliberate fault
 // injection: -fault-spec takes a JSON spec (inline or a file path)
@@ -79,6 +87,7 @@ func run(args []string) error {
 	maxPoints := fs.Int("max-sweep-points", 1024, "hard cap on one /v1/sweep cross product")
 	dataDir := fs.String("data-dir", "", "durable state directory (result store + job journal); empty = RAM only")
 	storeBudget := fs.Int64("store-budget", 256<<20, "result-store on-disk byte budget (LRU eviction; <= 0 = unbounded)")
+	respBudget := fs.Int64("resp-cache-budget", 32<<20, "in-memory response-byte cache budget (LRU eviction; < 0 = disabled)")
 	jobWorkers := fs.Int("job-workers", 0, "background sweep pool size for async jobs (0 = half of -parallel)")
 	maxJobPoints := fs.Int("max-job-points", 1<<20, "hard cap on one /v1/jobs cross product")
 	chunkRetries := fs.Int("chunk-retries", 0, "attempts per failed job chunk before quarantine (0 = default 3)")
@@ -140,6 +149,7 @@ func run(args []string) error {
 		MaxInFlight:       inflight,
 		RequestTimeout:    *timeout,
 		MaxSweepPoints:    *maxPoints,
+		RespCacheBudget:   *respBudget,
 		JobSweepWorkers:   *jobWorkers,
 		MaxJobPoints:      *maxJobPoints,
 		ChunkRetries:      *chunkRetries,

@@ -41,3 +41,43 @@ type Snapshot struct {
 func (s Stats) Snapshot() Snapshot {
 	return Snapshot{Hits: s.Hits, Misses: s.Misses, HitRate: s.HitRate()}
 }
+
+// ByteStats is the counter set of a byte-budgeted cache tier (the
+// server's response-byte LRU): the usual hit/miss pair plus the size
+// gauges its eviction budget works against.
+type ByteStats struct {
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	Entries     int64
+	Bytes       int64
+	BudgetBytes int64
+}
+
+// HitRate returns hits over total lookups (0 when no lookups).
+func (s ByteStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// ByteSnapshot is the wire form of ByteStats.
+type ByteSnapshot struct {
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Entries     int64   `json:"entries"`
+	Bytes       int64   `json:"bytes"`
+	BudgetBytes int64   `json:"budget_bytes,omitempty"`
+	Evictions   int64   `json:"evictions"`
+}
+
+// Snapshot derives the serializable view of the counters.
+func (s ByteStats) Snapshot() ByteSnapshot {
+	return ByteSnapshot{
+		Hits: s.Hits, Misses: s.Misses, HitRate: s.HitRate(),
+		Entries: s.Entries, Bytes: s.Bytes, BudgetBytes: s.BudgetBytes,
+		Evictions: s.Evictions,
+	}
+}

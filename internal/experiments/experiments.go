@@ -79,15 +79,50 @@ func gpuPlat() platform.CachedPlatform { platMu.RLock(); defer platMu.RUnlock();
 
 // ResetCaches discards every in-memory memoization tier the runners
 // share — the platform compile/run caches and the graph build cache
-// below them — and zeroes all counters. Benchmarks use it for
-// cold-cache iterations. The persistent result store, if one is
-// installed, survives: it is the durable tier, dropped only by
-// SetResultStore(nil) or deleting the data directory.
+// below them — and zeroes all counters, then fires every OnReset hook.
+// Benchmarks use it for cold-cache iterations. The persistent result
+// store, if one is installed, survives: it is the durable tier, dropped
+// only by SetResultStore(nil) or deleting the data directory.
 func ResetCaches() {
 	platMu.Lock()
-	defer platMu.Unlock()
 	rebuildLocked()
 	graph.ResetCache()
+	platMu.Unlock()
+
+	resetHookMu.Lock()
+	hooks := make([]func(), 0, len(resetHooks))
+	for _, fn := range resetHooks {
+		hooks = append(hooks, fn)
+	}
+	resetHookMu.Unlock()
+	// Hooks run outside every lock: a hook may itself consult
+	// experiments state without deadlocking.
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+var (
+	resetHookMu   sync.Mutex
+	resetHooks    = map[int]func(){}
+	nextResetHook int
+)
+
+// OnReset registers fn to run after every ResetCaches, so caches built
+// above this package (the server's response-byte tier) invalidate in
+// lockstep with the tiers below them. The returned cancel unregisters
+// fn — callers that close must cancel, or the hook pins them alive.
+func OnReset(fn func()) (cancel func()) {
+	resetHookMu.Lock()
+	id := nextResetHook
+	nextResetHook++
+	resetHooks[id] = fn
+	resetHookMu.Unlock()
+	return func() {
+		resetHookMu.Lock()
+		delete(resetHooks, id)
+		resetHookMu.Unlock()
+	}
 }
 
 // SetResultStore installs rs as the persistent read-through /

@@ -374,6 +374,12 @@ func (m *Manager) Submit(req json.RawMessage, points int) (View, error) {
 // server's load-shedding 429s.
 func (m *Manager) Queued() int64 { return m.queuedGauge.Load() }
 
+// Durable reports whether the manager journals to disk. Ephemeral job
+// IDs restart from scratch every boot, so anything derived from an ID's
+// identity across processes (the server's job-result ETags) must check
+// this first.
+func (m *Manager) Durable() bool { return m.journal != nil }
+
 // Get returns a job's current view.
 func (m *Manager) Get(id string) (View, bool) {
 	m.mu.Lock()

@@ -31,6 +31,20 @@ type ResultStore interface {
 	Store(platformName, specKey string, s Stored)
 }
 
+// RawResponseStore is the optional byte-oriented extension of
+// ResultStore behind the warm serve path: implementations keep the
+// pre-marshaled response bytes for an outcome next to its canonical
+// payload, so a warm request is answered from bytes with zero JSON
+// work. LoadRaw returns servable bytes (and false on any miss or
+// failure — like Load, this tier must degrade to recompute, never
+// error); StoreResponse attaches bytes write-behind and may drop them
+// freely. internal/store implements it with v2 framed blobs.
+type RawResponseStore interface {
+	ResultStore
+	LoadRaw(platformName, specKey string) ([]byte, bool)
+	StoreResponse(platformName, specKey string, resp []byte)
+}
+
 // CachedWithStore is Cached with a persistent read-through /
 // write-behind tier underneath the in-memory cells: a compile miss in
 // the memo consults rs before running the simulator, and computed

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dabench/internal/platform"
+	"dabench/internal/store"
+)
+
+// The warm serve path. The tiers answer a repeat request before any
+// JSON or simulation work happens, checked in cost order:
+//
+//	L0 body    the verbatim request bytes as the cache key (/v1/run) —
+//	           one allocation-free map lookup, no decode at all; the
+//	           entry's ETag answers a conditional hit with 304.
+//	ETag/304   If-None-Match matches the request's strong ETag — no
+//	           body at all, answered before admission.
+//	L0 bytes   the in-process response-byte LRU (s.resp) under the
+//	           canonical (platform, spec) key — one map lookup, the
+//	           cached bytes go straight to the socket.
+//	L2 raw     the framed blob's response section (store.LoadRaw) —
+//	           one read, zero JSON decode, refills L0 on the way out.
+//
+// Only then does a request acquire an admission slot and compute. The
+// tiers are only reachable for deterministic endpoints: every ETag
+// below is derived from the request's identity (pipeline version ⊕
+// inputs), never from response bytes, which is what lets a 304 be
+// answered without computing anything.
+
+const ctJSON = "application/json"
+
+// respEntry is one cached response: the exact body bytes plus its
+// header values in the pre-canonicalized form http.Header wants, so
+// serving assigns ready-made one-element slices into the header map
+// instead of allocating per request via Header().Set.
+type respEntry struct {
+	body []byte
+	etag string
+	// etagH/ctH/lenH are the header value slices for direct map
+	// assignment (ETag, Content-Type, Content-Length of body).
+	etagH []string
+	ctH   []string
+	lenH  []string
+}
+
+// respEntryOverhead approximates a respEntry's fixed footprint (struct,
+// slice headers, map slot) for the byte budget; the dominant cost is
+// the body, this just keeps many tiny entries honest.
+const respEntryOverhead = 192
+
+func newRespEntry(etag, contentType string, body []byte) *respEntry {
+	return &respEntry{
+		body:  body,
+		etag:  etag,
+		etagH: []string{etag},
+		ctH:   []string{contentType},
+		lenH:  []string{strconv.Itoa(len(body))},
+	}
+}
+
+func (e *respEntry) size() int64 {
+	return int64(len(e.body)) + int64(len(e.etag)) + respEntryOverhead
+}
+
+// runETag is the strong ETag of one /v1/run outcome: exactly the
+// store's content address for the (platform, spec) pair, which already
+// binds the pipeline version. Quoted per RFC 9110.
+func runETag(platformName, specKey string) string {
+	return `"` + store.Address(platformName, specKey) + `"`
+}
+
+// runRespKey is the L0 cache key of one /v1/run response.
+func runRespKey(platformName, specKey string) string {
+	return "run\x00" + platformName + "\x00" + specKey
+}
+
+// sweepETag is the strong ETag of one synchronous sweep response: the
+// pipeline version, platform and every point's spec key in order. The
+// point labels derive from the specs, so the key set pins the whole
+// body.
+func sweepETag(platformName string, specs []platform.TrainSpec) string {
+	h := sha256.New()
+	h.Write([]byte("dabench/sweep/v" + strconv.Itoa(store.PipelineVersion)))
+	h.Write([]byte{0})
+	h.Write([]byte(platformName))
+	for _, sp := range specs {
+		h.Write([]byte{0})
+		h.Write([]byte(sp.Key()))
+	}
+	return `"` + hex.EncodeToString(h.Sum(nil)) + `"`
+}
+
+// scenarioETag is the strong ETag of one built-in library scenario
+// rendering. The library is immutable within a build and the engine
+// deterministic, so (pipeline version, name, format) pins the bytes.
+func scenarioETag(name, format string) string {
+	h := sha256.New()
+	h.Write([]byte("dabench/scenario/v" + strconv.Itoa(store.PipelineVersion)))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(format))
+	return `"` + hex.EncodeToString(h.Sum(nil)) + `"`
+}
+
+// scenarioRespKey is the L0 cache key of one scenario GET rendering.
+func scenarioRespKey(name, format string) string {
+	return "scn\x00" + name + "\x00" + format
+}
+
+// jobResultETag is the strong ETag of one finished job's rendered
+// result. Job results are immutable once finished, so (id, format)
+// pins the bytes — but ephemeral job IDs restart from scratch each
+// boot, so without a journal the server's start time joins the key to
+// keep a stale client ETag from matching a different job's result.
+func (s *Server) jobResultETag(id, format string) string {
+	h := sha256.New()
+	if s.jobs.Durable() {
+		h.Write([]byte("dabench/job-result"))
+	} else {
+		h.Write([]byte("dabench/job-result/boot:" + strconv.FormatInt(s.start.UnixNano(), 10)))
+	}
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write([]byte(format))
+	return `"` + hex.EncodeToString(h.Sum(nil)) + `"`
+}
+
+// etagMatches reports whether an If-None-Match header value matches
+// etag. The single-tag exact match is first — it is the whole fast
+// path; the general form handles "*", tag lists, and weak prefixes
+// (weak comparison suffices for If-None-Match per RFC 9110 §13.1.2).
+func etagMatches(inm, etag string) bool {
+	if inm == etag {
+		return true
+	}
+	if inm == "*" {
+		return true
+	}
+	for inm != "" {
+		var tag string
+		if i := strings.IndexByte(inm, ','); i >= 0 {
+			tag, inm = inm[:i], inm[i+1:]
+		} else {
+			tag, inm = inm, ""
+		}
+		tag = strings.TrimSpace(tag)
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeNotModified answers 304: the ETag echoes so caches revalidate,
+// and per RFC 9110 a 304 carries no body.
+func (s *Server) writeNotModified(w http.ResponseWriter, etag string) {
+	w.Header()["Etag"] = []string{etag}
+	w.WriteHeader(http.StatusNotModified)
+	s.notModified.Add(1)
+}
+
+// writeNotModifiedEntry is writeNotModified for a cached entry, reusing
+// its pre-built ETag slice — the conditional lane's only allocation.
+func (s *Server) writeNotModifiedEntry(w http.ResponseWriter, e *respEntry) {
+	w.Header()["Etag"] = e.etagH
+	w.WriteHeader(http.StatusNotModified)
+	s.notModified.Add(1)
+}
+
+// serveEntry writes a cached response: three direct header assigns
+// (values pre-built at cache time), then the bytes. Content-Length is
+// explicit, so the response is never chunked.
+func serveEntry(w http.ResponseWriter, e *respEntry) {
+	h := w.Header()
+	h["Etag"] = e.etagH
+	h["Content-Type"] = e.ctH
+	h["Content-Length"] = e.lenH
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(e.body)
+}
+
+// cacheAndServe builds the respEntry for body (taking ownership of the
+// slice), serves it, and installs it in L0 when the tier is enabled.
+// The entry is returned so callers can install it under alias keys
+// (/v1/run adds the verbatim request bytes).
+func (s *Server) cacheAndServe(w http.ResponseWriter, cacheKey, etag, contentType string, body []byte) *respEntry {
+	e := newRespEntry(etag, contentType, body)
+	serveEntry(w, e)
+	if s.resp != nil {
+		s.resp.Put(cacheKey, e, e.size())
+	}
+	return e
+}
+
+// serveWithETag writes a JSON response with its ETag and an explicit
+// Content-Length, without touching L0 — job results live on disk (or
+// in the manager) already; a second in-memory copy buys nothing.
+func serveWithETag(w http.ResponseWriter, etag, contentType string, body []byte) {
+	h := w.Header()
+	h["Etag"] = []string{etag}
+	h.Set("Content-Type", contentType)
+	h["Content-Length"] = []string{strconv.Itoa(len(body))}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}

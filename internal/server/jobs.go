@@ -178,12 +178,20 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
+	// A finished job's result is immutable, so its ETag only exists
+	// once Result succeeds — an unfinished job must keep answering 409,
+	// not 304. The check sits after the (cheap) result fetch but before
+	// any rendering.
+	etag := s.jobResultETag(id, format)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		s.writeNotModified(w, etag)
+		return
+	}
 	if format == "" {
 		// The stored document is the /v1/sweep encoder's exact output;
 		// serving the bytes untouched keeps async results byte-identical
 		// to their synchronous equivalents.
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(raw)
+		serveWithETag(w, etag, ctJSON, raw)
 		return
 	}
 
@@ -199,7 +207,12 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 				"stored scenario result for "+strconv.Quote(id)+" does not decode (written by an incompatible version?)")
 			return
 		}
-		writeScenario(w, &out, format) // "csv" or "table" (rendered as text) here
+		body, contentType, rerr := renderScenario(&out, format) // "csv" or "table" (rendered as text) here
+		if rerr != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, rerr.Error())
+			return
+		}
+		serveWithETag(w, etag, contentType, body)
 		return
 	}
 
@@ -220,18 +233,18 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 	var buf bytes.Buffer
 	var rerr error
+	contentType := "text/plain; charset=utf-8"
 	if format == "csv" {
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		contentType = "text/csv; charset=utf-8"
 		rerr = tbl.WriteCSV(&buf)
 	} else {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		rerr = tbl.WriteText(&buf)
 	}
 	if rerr != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, rerr.Error())
 		return
 	}
-	_, _ = w.Write(buf.Bytes())
+	serveWithETag(w, etag, contentType, buf.Bytes())
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

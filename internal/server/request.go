@@ -1,11 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 
 	"dabench/internal/experiments"
 	"dabench/internal/model"
@@ -115,12 +119,52 @@ func (e *BudgetError) Error() string {
 	return fmt.Sprintf("sweep of %d points exceeds the budget of %d", e.Points, e.Budget)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+// jsonBufPool recycles the encode buffers every response marshals
+// through. Buffers that grew past maxPooledBuf are dropped instead of
+// pinned — one multi-megabyte sweep response must not turn the pool
+// into a leak.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+// encodeJSON marshals v into a pooled buffer with the server's one
+// encoder configuration (HTML escaping off, trailing newline — every
+// byte-identity guarantee in this package rides on all paths using
+// exactly this). The caller returns the buffer via putBuf.
+func encodeJSON(v any) (*bytes.Buffer, error) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v) // headers are out; nothing left to do on error
+	if err := enc.Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		jsonBufPool.Put(buf)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := encodeJSON(v)
+	if err != nil {
+		// Marshal failed before any header went out; answer a manual
+		// envelope (writeError would recurse into this same path).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":{"code":"internal","message":` +
+			strconv.Quote("encode response: "+err.Error()) + "}}\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
@@ -139,6 +183,83 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 		return errors.New("decode body: trailing data after JSON value")
 	}
 	return nil
+}
+
+// bodyBuf is one pooled request-read buffer plus the bytes.Reader that
+// re-reads it — both recycled together so the lean decode path costs
+// zero steady-state allocations for the transport plumbing.
+type bodyBuf struct {
+	b  []byte
+	rd bytes.Reader
+}
+
+var bodyBufPool = sync.Pool{New: func() any { return &bodyBuf{b: make([]byte, 4096)} }}
+
+// readBody reads a Content-Length-framed body whole into a pooled
+// buffer, returning the pooled holder plus the filled slice (which
+// aliases the holder's storage). A chunked body — no Content-Length —
+// returns a nil holder so callers fall back to the streaming decode.
+// The caller must return the holder via putBodyBuf once the bytes are
+// no longer referenced.
+func readBody(r *http.Request) (*bodyBuf, []byte, error) {
+	n := r.ContentLength
+	if n < 0 {
+		return nil, nil, nil
+	}
+	if n > maxBodyBytes {
+		return nil, nil, fmt.Errorf("decode body: request body of %d bytes exceeds the %d-byte limit", n, maxBodyBytes)
+	}
+	bb := bodyBufPool.Get().(*bodyBuf)
+	if int64(cap(bb.b)) < n {
+		bb.b = make([]byte, n)
+	}
+	buf := bb.b[:n]
+	if _, err := io.ReadFull(r.Body, buf); err != nil {
+		bodyBufPool.Put(bb)
+		return nil, nil, fmt.Errorf("decode body: %w", err)
+	}
+	return bb, buf, nil
+}
+
+// putBodyBuf recycles a readBody holder; a nil holder is a no-op.
+func putBodyBuf(bb *bodyBuf) {
+	if bb != nil {
+		bodyBufPool.Put(bb)
+	}
+}
+
+// decodeBody decodes one strict JSON value from buf through bb's pooled
+// reader. Strictness is identical to decode: unknown fields and
+// trailing data are client errors.
+func decodeBody(bb *bodyBuf, buf []byte, v any) error {
+	bb.rd.Reset(buf)
+	dec := json.NewDecoder(&bb.rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decode body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// decodeLean is decode for the hot endpoints: when the client sent a
+// Content-Length (every real client does), the body is read whole into
+// a pooled buffer and decoded from memory — no bufio allocation per
+// request. Chunked bodies fall back to the streaming decode. Strictness
+// is identical: unknown fields, trailing data and oversized bodies are
+// client errors.
+func decodeLean(w http.ResponseWriter, r *http.Request, v any) error {
+	bb, buf, err := readBody(r)
+	if err != nil {
+		return err
+	}
+	if bb == nil {
+		return decode(w, r, v)
+	}
+	defer bodyBufPool.Put(bb)
+	return decodeBody(bb, buf, v)
 }
 
 // resolve maps the request onto the process-wide cached platform set

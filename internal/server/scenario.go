@@ -68,9 +68,11 @@ func scenarioFormat(w http.ResponseWriter, r *http.Request, dflt string) (string
 }
 
 // handleScenarioGet runs one built-in library scenario synchronously.
-// It sits behind the admission gate (wired in New), so it shares the
-// in-flight budget and request deadline with the other heavy
-// endpoints.
+// The library is immutable within a build and the engine deterministic,
+// so (name, format) pins the rendered bytes: a repeat request is
+// answered from the ETag/304 or response-byte fast lane before the
+// admission gate; only the compute path claims a slot and shares the
+// in-flight budget and request deadline with the other heavy endpoints.
 func (s *Server) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	sc, ok := scenario.ByName(name)
@@ -82,12 +84,39 @@ func (s *Server) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	out, err := scenario.Run(r.Context(), sc, scenario.RunOptions{})
+	etag := scenarioETag(name, format)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		s.writeNotModified(w, etag)
+		s.served.Add(1)
+		return
+	}
+	ck := scenarioRespKey(name, format)
+	if s.resp != nil {
+		if e, ok := s.resp.Get(ck); ok {
+			serveEntry(w, e)
+			s.served.Add(1)
+			return
+		}
+	}
+
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	defer s.served.Add(1)
+	out, err := scenario.Run(ctx, sc, scenario.RunOptions{})
 	if err != nil {
 		s.writeRunError(w, err)
 		return
 	}
-	writeScenario(w, out, format)
+	body, contentType, err := renderScenario(out, format)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	s.cacheAndServe(w, ck, etag, contentType, body)
 }
 
 // handleScenarioSubmit executes a posted scenario document: under the
@@ -158,31 +187,48 @@ func (s *Server) handleScenarioSubmit(w http.ResponseWriter, r *http.Request) {
 	s.served.Add(1)
 }
 
-// writeScenario renders one scenario outcome in the requested format.
-// Text and CSV go through Outcome.Render — the shared
-// experiments.Result.Render path that keeps the bytes identical to the
-// CLI's stdout and the async job result for the same scenario.
-func writeScenario(w http.ResponseWriter, out *scenario.Outcome, format string) {
+// renderScenario materializes one scenario outcome in the requested
+// format as (body, content type). Text and CSV go through
+// Outcome.Render — the shared experiments.Result.Render path that
+// keeps the bytes identical to the CLI's stdout and the async job
+// result for the same scenario; JSON goes through the server's one
+// encoder configuration for the same reason.
+func renderScenario(out *scenario.Outcome, format string) ([]byte, string, error) {
 	switch format {
 	case "json":
-		writeJSON(w, http.StatusOK, out)
+		buf, err := encodeJSON(out)
+		if err != nil {
+			return nil, "", err
+		}
+		body := append([]byte(nil), buf.Bytes()...)
+		putBuf(buf)
+		return body, ctJSON, nil
 	case "csv":
 		var buf bytes.Buffer
 		if err := out.Render(&buf, true); err != nil {
-			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
-			return
+			return nil, "", err
 		}
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		_, _ = w.Write(buf.Bytes())
+		return buf.Bytes(), "text/csv; charset=utf-8", nil
 	default: // text
 		var buf bytes.Buffer
 		if err := out.Render(&buf, false); err != nil {
-			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
-			return
+			return nil, "", err
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write(buf.Bytes())
+		return buf.Bytes(), "text/plain; charset=utf-8", nil
 	}
+}
+
+// writeScenario renders one scenario outcome straight to the wire (the
+// POST paths, which have no fast lane to feed).
+func writeScenario(w http.ResponseWriter, out *scenario.Outcome, format string) {
+	body, contentType, err := renderScenario(out, format)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
 }
 
 // jobEnvelope distinguishes journaled job request vocabularies: sweep

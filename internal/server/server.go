@@ -40,6 +40,7 @@ import (
 	"dabench/internal/experiments"
 	"dabench/internal/faults"
 	"dabench/internal/jobs"
+	"dabench/internal/memo"
 	"dabench/internal/platform"
 	"dabench/internal/store"
 	"dabench/internal/sweep"
@@ -60,6 +61,13 @@ type Config struct {
 	// product (default 1024). A request's own budget may only lower
 	// it; larger sweeps belong on POST /v1/jobs.
 	MaxSweepPoints int
+
+	// RespCacheBudget bounds the in-memory response-byte cache (L0) in
+	// bytes: pre-marshaled bodies served without any JSON work on a
+	// warm hit. 0 means the 32 MiB default; negative disables the tier
+	// entirely (every warm request falls through to the memo tiers and
+	// the store's raw path).
+	RespCacheBudget int64
 
 	// Store is the persistent result store whose counters /v1/stats
 	// reports (the wiring into the pipeline itself happens via
@@ -99,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 1024
 	}
+	if c.RespCacheBudget == 0 {
+		c.RespCacheBudget = 32 << 20
+	}
 	if c.JobSweepWorkers <= 0 {
 		c.JobSweepWorkers = max(1, sweep.DefaultWorkers()/2)
 	}
@@ -125,6 +136,13 @@ type Stats struct {
 	SweepWorkers int                            `json:"sweep_workers"`
 	UptimeSec    float64                        `json:"uptime_sec"`
 	Caches       map[string]cachestats.Snapshot `json:"caches"`
+	// RespCache is the L0 response-byte tier's counters (absent when
+	// the tier is disabled); NotModified counts 304 fast-lane answers;
+	// BlobUpgrades mirrors the store's v1→v2 frame rewrites (0 without
+	// a store).
+	RespCache    *cachestats.ByteSnapshot       `json:"resp_cache,omitempty"`
+	NotModified  int64                          `json:"not_modified"`
+	BlobUpgrades int64                          `json:"blob_upgrades"`
 	Store        *store.Stats                   `json:"store,omitempty"`
 	Jobs         *jobs.Gauges                   `json:"jobs,omitempty"`
 	// Resilience counters: chunk-level job retries and quarantines, plus
@@ -145,9 +163,17 @@ type Server struct {
 	// once at construction (the library is immutable).
 	scenarios []scenarioInfo
 
+	// resp is the L0 response-byte cache (nil when disabled); raw the
+	// store's byte-level read path (nil without a store). unhookReset
+	// detaches resp from experiments.ResetCaches on Close.
+	resp        *memo.ByteLRU[string, *respEntry]
+	raw         platform.RawResponseStore
+	unhookReset func()
+
 	inFlight          atomic.Int64
 	served            atomic.Int64
 	rejected          atomic.Int64
+	notModified       atomic.Int64
 	chunkRetries      atomic.Int64
 	chunksQuarantined atomic.Int64
 	start             time.Time
@@ -164,23 +190,38 @@ func New(cfg Config) (*Server, error) {
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
 	}
+	if cfg.RespCacheBudget > 0 {
+		s.resp = memo.NewByteLRU[string, *respEntry](cfg.RespCacheBudget)
+		// L0 holds marshaled copies of what the tiers below compute;
+		// it must drop in lockstep when those tiers are reset.
+		s.unhookReset = experiments.OnReset(s.resp.Purge)
+	}
+	if cfg.Store != nil {
+		s.raw = cfg.Store
+	}
 	jm, err := jobs.Open(jobs.Config{Dir: cfg.JobsDir, Run: s.runJob, Injector: cfg.Injector})
 	if err != nil {
+		if s.unhookReset != nil {
+			s.unhookReset()
+		}
 		return nil, err
 	}
 	s.jobs = jm
 	if s.scenarios, err = libraryInfos(); err != nil {
-		jm.Close()
+		s.Close()
 		return nil, err
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/run", s.admit(s.handleRun))
-	s.mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
+	// The warm-path endpoints manage admission inline: their ETag/304
+	// and response-byte fast lanes answer repeat requests before ever
+	// claiming a simulation slot, so only the compute path is gated.
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.admit(s.handleExperiment))
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
-	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.admit(s.handleScenarioGet))
+	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioGet)
 	// Scenario submission manages admission itself: a document under
 	// the sync budget runs inline on an admission slot, a larger one
 	// becomes an async job (submission is cheap, so it must not burn a
@@ -198,9 +239,16 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Close stops the job manager (running jobs are interrupted; with a
-// JobsDir they revive on the next boot). The HTTP listener's drain is
-// the caller's http.Server.Shutdown, done before this.
-func (s *Server) Close() { s.jobs.Close() }
+// JobsDir they revive on the next boot) and detaches the response
+// cache's reset hook. The HTTP listener's drain is the caller's
+// http.Server.Shutdown, done before this.
+func (s *Server) Close() {
+	if s.unhookReset != nil {
+		s.unhookReset()
+		s.unhookReset = nil
+	}
+	s.jobs.Close()
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -351,9 +399,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"graph":   experiments.GraphCacheStats().Snapshot(),
 		},
 	}
+	if s.resp != nil {
+		snap := s.resp.Stats().Snapshot()
+		st.RespCache = &snap
+	}
+	st.NotModified = s.notModified.Load()
 	if s.cfg.Store != nil {
 		snap := s.cfg.Store.Stats()
 		st.Store = &snap
+		st.BlobUpgrades = snap.BlobUpgrades
 	}
 	gauges := s.jobs.Stats()
 	st.Jobs = &gauges
@@ -364,8 +418,40 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	bb, body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	defer putBodyBuf(bb)
+	inm := r.Header.Get("If-None-Match")
+
+	// L0 by request bytes: the verbatim body is itself a cache key, so
+	// a repeat POST is answered before any JSON work — no decode, no
+	// resolve, no spec hashing, zero allocations. Valid JSON never
+	// contains a raw NUL byte while every canonical L0 key namespace
+	// embeds one, so a NUL-free body can only hit entries this lane
+	// installed (each recorded after its body decoded successfully).
+	bodyKeyed := s.resp != nil && bb != nil && bytes.IndexByte(body, 0) < 0
+	if bodyKeyed {
+		if e, ok := memo.LookupBytes(s.resp, body); ok {
+			if inm != "" && etagMatches(inm, e.etag) {
+				s.writeNotModifiedEntry(w, e)
+			} else {
+				serveEntry(w, e)
+			}
+			s.served.Add(1)
+			return
+		}
+	}
+
 	var req RunRequest
-	if err := decode(w, r, &req); err != nil {
+	if bb != nil {
+		err = decodeBody(bb, body, &req)
+	} else {
+		err = decode(w, r, &req)
+	}
+	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
@@ -374,41 +460,122 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	key := spec.Key()
 
-	// A single Compile/Run pair is the pipeline's atomic unit — the
-	// Platform interface is context-free by design (simulators are
-	// pure functions, milliseconds each). The request deadline is
-	// honored at the stage boundaries instead.
+	// alias installs a served entry under the verbatim body bytes, so
+	// the next identical POST takes the zero-decode lane above. The
+	// entry is shared with its canonical key; only the key is copied.
+	alias := func(e *respEntry) {
+		if bodyKeyed && e != nil {
+			s.resp.Put(string(body), e, int64(len(body))+respEntryOverhead)
+		}
+	}
+
+	// L0 by canonical key: catches the same spec spelled as different
+	// JSON (field order, defaults made explicit). The entry carries its
+	// own ETag, so a conditional hit answers 304 without a hash.
+	if s.resp != nil {
+		if e, ok := s.resp.Get(runRespKey(p.Name(), key)); ok {
+			alias(e)
+			if inm != "" && etagMatches(inm, e.etag) {
+				s.writeNotModifiedEntry(w, e)
+			} else {
+				serveEntry(w, e)
+			}
+			s.served.Add(1)
+			return
+		}
+	}
+
+	// The ETag is the request's identity, not the response's bytes —
+	// computable without running anything, which is what lets a 304
+	// skip both the admission gate and the pipeline. A client can only
+	// hold a matching tag from a prior 200 of this same identity.
+	etag := runETag(p.Name(), key)
+	if inm != "" && etagMatches(inm, etag) {
+		s.writeNotModified(w, etag)
+		s.served.Add(1)
+		return
+	}
+
+	// L2 raw: the framed blob's pre-marshaled response section —
+	// servable bytes with zero JSON work, refilling L0 on the way out.
+	if s.raw != nil {
+		if raw, ok := s.raw.LoadRaw(p.Name(), key); ok {
+			alias(s.cacheAndServe(w, runRespKey(p.Name(), key), etag, ctJSON, raw))
+			s.served.Add(1)
+			return
+		}
+	}
+
+	// Cold: admission gate, deadline, simulate.
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	alias(s.runSlow(w, r.WithContext(ctx), p, spec, etag))
+	s.served.Add(1)
+}
+
+// runSlow is /v1/run's compute path: one compile+run under the request
+// deadline. A single Compile/Run pair is the pipeline's atomic unit —
+// the Platform interface is context-free by design (simulators are
+// pure functions, milliseconds each), so the deadline is honored at
+// the stage boundaries instead. Returns the cached entry it served, or
+// nil on error paths (nothing cacheable was produced).
+func (s *Server) runSlow(w http.ResponseWriter, r *http.Request, p platform.CachedPlatform, spec platform.TrainSpec, etag string) *respEntry {
 	if err := r.Context().Err(); err != nil {
 		s.writeRunError(w, err)
-		return
+		return nil
 	}
 	cr, err := p.Compile(spec)
 	if err != nil {
 		if platform.IsCompileFailure(err) {
 			// A placement failure is a finding — the paper's "Fail"
-			// entries — not a request error.
+			// entries — not a request error, and it is as cacheable as
+			// a success (the store persists it as a Failed blob).
 			res := result(p, spec, nil, nil)
 			res.Failed, res.FailReason = true, err.Error()
-			writeJSON(w, http.StatusOK, res)
-			return
+			return s.finishRun(w, p.Name(), etag, res)
 		}
 		// The simulators validate their inputs in Compile; anything
 		// that is neither placement nor validation would have failed
 		// spec.Validate above.
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-		return
+		return nil
 	}
 	if err := r.Context().Err(); err != nil {
 		s.writeRunError(w, err)
-		return
+		return nil
 	}
 	rr, err := p.Run(cr)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
-		return
+		return nil
 	}
-	writeJSON(w, http.StatusOK, result(p, spec, cr, rr))
+	return s.finishRun(w, p.Name(), etag, result(p, spec, cr, rr))
+}
+
+// finishRun marshals a run outcome exactly once and fans the bytes out
+// to every tier: the client, the L0 response cache, and the store's
+// frame response section (write-behind) so the next process boots with
+// a byte-warm path. Returns the entry it served (nil if encoding
+// failed).
+func (s *Server) finishRun(w http.ResponseWriter, platformName, etag string, res RunResult) *respEntry {
+	buf, err := encodeJSON(res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return nil
+	}
+	body := append([]byte(nil), buf.Bytes()...)
+	putBuf(buf)
+	e := s.cacheAndServe(w, runRespKey(platformName, res.SpecKey), etag, ctJSON, body)
+	if s.raw != nil {
+		s.raw.StoreResponse(platformName, res.SpecKey, body)
+	}
+	return e
 }
 
 // SweepResponse is the /v1/sweep payload; Results follows the
@@ -439,7 +606,7 @@ type ChunkFailure struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if err := decode(w, r, &req); err != nil {
+	if err := decodeLean(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
@@ -451,6 +618,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var be *BudgetError
 		if errors.As(err, &be) {
+			// Over-budget rejection happens before admission: refusing
+			// work must never queue behind work.
 			writeBudgetError(w, be)
 			return
 		}
@@ -458,7 +627,33 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	outs, err := sweep.Map(r.Context(), specs,
+	// Fast lane: the ETag pins (pipeline version, platform, ordered
+	// point keys) — the whole response identity — so both the 304 and
+	// the L0 byte hit skip the admission gate and the worker pool.
+	etag := sweepETag(p.Name(), specs)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		s.writeNotModified(w, etag)
+		s.served.Add(1)
+		return
+	}
+	ck := "sweep\x00" + etag
+	if s.resp != nil {
+		if e, ok := s.resp.Get(ck); ok {
+			serveEntry(w, e)
+			s.served.Add(1)
+			return
+		}
+	}
+
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	defer s.served.Add(1)
+
+	outs, err := sweep.Map(ctx, specs,
 		func(_ context.Context, _ int, spec platform.TrainSpec) (RunResult, error) {
 			return runPoint(p, spec)
 		})
@@ -479,7 +674,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		res.Label = labels[i]
 		resp.Results[i] = res
 	}
-	writeJSON(w, http.StatusOK, resp)
+	buf, err := encodeJSON(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	body := append([]byte(nil), buf.Bytes()...)
+	putBuf(buf)
+	s.cacheAndServe(w, ck, etag, ctJSON, body)
 }
 
 // runPoint is one sweep point's compile+run — the unit shared by the

@@ -165,9 +165,13 @@ func TestRunCompileFailureIsFinding(t *testing.T) {
 
 // TestConcurrentIdenticalRunsCoalesce is the acceptance contract of
 // the serving tentpole: two concurrent identical POST /v1/run requests
-// must produce exactly one underlying compile — the second caller
-// rides the singleflight cell — observable as 1 miss + 1 hit on the
-// compile and run tiers via /v1/stats.
+// must produce exactly one underlying compile, observable as exactly 1
+// miss on the compile and run tiers via /v1/stats. How the second
+// caller is served depends on timing: arriving during the first's
+// compute it rides the singleflight cell (a compile hit); arriving
+// after, it is answered from the response-byte fast lane and never
+// touches the compile tier at all. Either way the bodies are
+// byte-identical.
 func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
 	experiments.ResetCaches()
 	ts := newTestServer(t, Config{MaxInFlight: 8})
@@ -177,9 +181,9 @@ func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
 
 	const body = `{"platform":"rdu","model":"llama2-7b","batch":8,"seq":4096,"precision":"BF16","mode":"O1","tensor_parallel":2}`
 	var wg sync.WaitGroup
-	results := make([]RunResult, 2)
+	bodies := make([][]byte, 2)
 	errs := make([]error, 2)
-	for i := range results {
+	for i := range bodies {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -193,7 +197,7 @@ func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
 				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
 				return
 			}
-			errs[i] = json.NewDecoder(resp.Body).Decode(&results[i])
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
 		}()
 	}
 	wg.Wait()
@@ -202,8 +206,8 @@ func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
 			t.Fatalf("request %d: %v", i, err)
 		}
 	}
-	if !reflect.DeepEqual(results[0], results[1]) {
-		t.Errorf("identical requests diverged:\n%+v\n%+v", results[0], results[1])
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Errorf("identical requests diverged:\n%s\n%s", bodies[0], bodies[1])
 	}
 
 	var after Stats
@@ -211,10 +215,10 @@ func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
 	compile := after.Caches["compile"]
 	compileBefore := before.Caches["compile"]
 	if miss := compile.Misses - compileBefore.Misses; miss != 1 {
-		t.Errorf("compile misses = %d, want exactly 1 (singleflight coalescing)", miss)
+		t.Errorf("compile misses = %d, want exactly 1 (coalescing)", miss)
 	}
-	if hits := compile.Hits - compileBefore.Hits; hits != 1 {
-		t.Errorf("compile hits = %d, want exactly 1", hits)
+	if hits := compile.Hits - compileBefore.Hits; hits > 1 {
+		t.Errorf("compile hits = %d, want at most 1", hits)
 	}
 	run := after.Caches["run"]
 	runBefore := before.Caches["run"]

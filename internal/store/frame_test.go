@@ -1,0 +1,201 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"v":1}`)
+	resp := []byte(`{"spec_key":"k"}` + "\n")
+	p, r, err := decodeFrame(encodeFrame(payload, resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, payload) || !bytes.Equal(r, resp) {
+		t.Errorf("round trip diverged: %q %q", p, r)
+	}
+
+	// Payload-only frame (the shape a v1 upgrade writes).
+	p, r, err = decodeFrame(encodeFrame(payload, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, payload) || r != nil {
+		t.Errorf("payload-only frame = %q, %q; want payload, nil", p, r)
+	}
+}
+
+func TestDecodeFrameRejectsDamage(t *testing.T) {
+	good := encodeFrame([]byte(`{"v":1}`), []byte("resp"))
+
+	if _, _, err := decodeFrame([]byte(`{"version":1}`)); !errors.Is(err, errNotFramed) {
+		t.Errorf("bare JSON: err = %v, want errNotFramed", err)
+	}
+	if _, _, err := decodeFrame(good[:frameHeaderLen-2]); err == nil || errors.Is(err, errNotFramed) {
+		t.Errorf("truncated header: err = %v, want hard error", err)
+	}
+	if _, _, err := decodeFrame(good[:len(good)-1]); err == nil || errors.Is(err, errNotFramed) {
+		t.Errorf("truncated body: err = %v, want hard error", err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[4] = 99 // version
+	if _, _, err := decodeFrame(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff // flip a resp byte -> CRC mismatch
+	if _, _, err := decodeFrame(bad); err == nil {
+		t.Error("CRC mismatch accepted")
+	}
+}
+
+// TestV1BlobUpgrade is the version-negotiation contract: a bare-JSON
+// blob written by a pre-frame build keeps loading, and its first Load
+// rewrites it framed (observable as blob_upgrades) so the next process
+// reads v2.
+func TestV1BlobUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(12)
+	key := spec.Key()
+	s := mustOpen(t, dir, 0)
+	s.Store("WSE-2", key, testStored(12))
+	s.Snapshot()
+	s.Close()
+
+	// Strip the frame: the bare payload is byte-for-byte what a v1
+	// build wrote.
+	name := address("WSE-2", key)
+	path := filepath.Join(dir, name[:2], name+".json")
+	framed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := decodeFrame(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 0)
+	if _, ok := s2.LoadRaw("WSE-2", key); ok {
+		t.Fatal("LoadRaw hit on a v1 blob (it has no response section)")
+	}
+	if _, ok := s2.Load("WSE-2", key); !ok {
+		t.Fatal("v1 blob did not load")
+	}
+	s2.Snapshot() // flush the write-behind upgrade
+	if n := s2.Stats().BlobUpgrades; n != 1 {
+		t.Errorf("blob upgrades = %d, want 1", n)
+	}
+	upgraded, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(upgraded, frameMagic[:]) {
+		t.Fatal("upgraded blob is not framed")
+	}
+	p2, _, err := decodeFrame(upgraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p2, payload) {
+		t.Error("upgrade changed the payload bytes")
+	}
+	// A second load of the now-framed blob must not upgrade again.
+	if _, ok := s2.Load("WSE-2", key); !ok {
+		t.Fatal("upgraded blob did not load")
+	}
+	s2.Snapshot()
+	if n := s2.Stats().BlobUpgrades; n != 1 {
+		t.Errorf("blob upgrades after re-load = %d, want still 1", n)
+	}
+}
+
+// TestStoreResponseRoundTrip covers the response section end to end:
+// attach bytes, read them back raw across a reopen, and keep them
+// through a payload rewrite (the carry-forward in the writer).
+func TestStoreResponseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(12)
+	key := spec.Key()
+	resp := []byte(`{"platform":"wse","spec_key":"` + key + `"}` + "\n")
+
+	s := mustOpen(t, dir, 0)
+	s.Store("WSE-2", key, testStored(12))
+	s.StoreResponse("WSE-2", key, resp)
+	s.Snapshot()
+
+	got, ok := s.LoadRaw("WSE-2", key)
+	if !ok || !bytes.Equal(got, resp) {
+		t.Fatalf("LoadRaw = %q, %v; want the stored response", got, ok)
+	}
+	st := s.Stats()
+	if st.RawHits != 1 || st.RawMisses != 0 {
+		t.Errorf("raw hits/misses = %d/%d, want 1/0", st.RawHits, st.RawMisses)
+	}
+	s.Close()
+
+	// The bytes survive a restart.
+	s2 := mustOpen(t, dir, 0)
+	if got, ok := s2.LoadRaw("WSE-2", key); !ok || !bytes.Equal(got, resp) {
+		t.Fatalf("LoadRaw after reopen = %q, %v", got, ok)
+	}
+	// And survive a payload rewrite of the same blob.
+	s2.Store("WSE-2", key, testStored(12))
+	s2.Snapshot()
+	if got, ok := s2.LoadRaw("WSE-2", key); !ok || !bytes.Equal(got, resp) {
+		t.Fatalf("LoadRaw after payload rewrite = %q, %v (response section lost)", got, ok)
+	}
+	// The payload tier still decodes normally next to the bytes.
+	if _, ok := s2.Load("WSE-2", key); !ok {
+		t.Fatal("Load missed on a framed blob with a response section")
+	}
+}
+
+// TestCorruptFrameIsAMiss pins the delete-and-miss semantics on the
+// raw path: a frame failing its CRC is deleted, counted corrupt, and
+// reported as a miss on both Load and LoadRaw.
+func TestCorruptFrameIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(12)
+	key := spec.Key()
+	s := mustOpen(t, dir, 0)
+	s.Store("WSE-2", key, testStored(12))
+	s.StoreResponse("WSE-2", key, []byte("resp-bytes"))
+	s.Snapshot()
+	s.Close()
+
+	name := address("WSE-2", key)
+	path := filepath.Join(dir, name[:2], name+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 0)
+	if _, ok := s2.LoadRaw("WSE-2", key); ok {
+		t.Fatal("corrupt frame served raw")
+	}
+	st := s2.Stats()
+	if st.Corrupt != 1 || st.RawMisses != 1 {
+		t.Errorf("stats after corruption = %+v", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt frame not deleted")
+	}
+	if _, ok := s2.Load("WSE-2", key); ok {
+		t.Fatal("deleted frame resurrected via Load")
+	}
+}

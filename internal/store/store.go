@@ -24,6 +24,13 @@
 // where everything computed so far is on disk. Corruption never
 // propagates: a blob that fails to decode or verify is deleted and
 // reported as a miss, because the pipeline can always recompute.
+//
+// On-disk format: blobs are written as v2 binary frames (see frame.go)
+// carrying the canonical JSON payload plus, optionally, the
+// pre-marshaled HTTP response bytes for the same outcome — LoadRaw
+// serves the latter with zero JSON decoding. v1 bare-JSON blobs remain
+// readable; the first Load that touches one enqueues a rewrite into
+// the framed format (counted as a blob upgrade).
 package store
 
 import (
@@ -74,7 +81,12 @@ type Stats struct {
 	Evictions   int64   `json:"evictions"`
 	Corrupt     int64   `json:"corrupt"`
 	WriteErrors int64   `json:"write_errors,omitempty"`
-	Entries     int64   `json:"entries"`
+	// Warm serve counters: raw-response lookups (LoadRaw, which serves
+	// bytes without decoding) and v1→v2 frame rewrites.
+	RawHits      int64 `json:"raw_hits,omitempty"`
+	RawMisses    int64 `json:"raw_misses,omitempty"`
+	BlobUpgrades int64 `json:"blob_upgrades,omitempty"`
+	Entries      int64 `json:"entries"`
 	Bytes       int64   `json:"bytes"`
 	BudgetBytes int64   `json:"budget_bytes,omitempty"`
 	// Resilience counters: retry totals, operations skipped because a
@@ -107,10 +119,18 @@ type indexEntry struct {
 // syscall cost.
 const touchDebounce = time.Minute
 
+// putReq is one write-behind unit. Exactly one of payload, resp or
+// flush is set: a payload write persists a (possibly fresh) JSON blob
+// framed, carrying forward any response bytes already on disk; a resp
+// write merges pre-marshaled response bytes into the existing frame
+// (dropped if the blob is gone — it is recomputable); a flush is the
+// Snapshot barrier.
 type putReq struct {
-	name  string
-	data  []byte
-	flush chan struct{} // non-nil: flush barrier, no write
+	name    string
+	payload []byte
+	resp    []byte
+	upgrade bool          // payload write triggered by a v1 blob read
+	flush   chan struct{} // non-nil: flush barrier, no write
 }
 
 // Store is an open result store. Create with Open; safe for concurrent
@@ -131,6 +151,8 @@ type Store struct {
 	clock int64
 
 	hits, misses, puts          atomic.Int64
+	rawHits, rawMisses          atomic.Int64
+	blobUpgrades                atomic.Int64
 	evictions, corrupt, wfails  atomic.Int64
 	readRetries, writeRetries   atomic.Int64
 	skippedReads, skippedWrites atomic.Int64
@@ -258,6 +280,14 @@ func (s *Store) load() error {
 	return nil
 }
 
+// Address derives a blob's content address from the pipeline version,
+// platform and canonical spec key. It is exported for callers that
+// need the address as an identity without touching the store — the
+// server's strong ETags are exactly this address.
+func Address(platformName, specKey string) string {
+	return address(platformName, specKey)
+}
+
 // address derives a blob's content address from the pipeline version,
 // platform and canonical spec key.
 func address(platformName, specKey string) string {
@@ -273,6 +303,9 @@ func address(platformName, specKey string) string {
 func (s *Store) path(name string) string {
 	return filepath.Join(s.dir, name[:2], name+".json")
 }
+
+// Store is the byte-level tier the server's warm path reads through.
+var _ platform.RawResponseStore = (*Store)(nil)
 
 // Load implements platform.ResultStore: a synchronous read-through
 // lookup. Any decode or identity failure deletes the blob and reports
@@ -319,8 +352,19 @@ func (s *Store) Load(platformName, specKey string) (platform.Stored, bool) {
 		return platform.Stored{}, false
 	}
 	s.readBr.success()
+	payload, _, ferr := decodeFrame(data)
+	if errors.Is(ferr, errNotFramed) {
+		// A v1 bare-JSON blob: the file is the payload. Decoding it is
+		// this read's cost anyway; enqueue a framed rewrite so the next
+		// life reads v2 (opportunistic — a full queue skips it).
+		payload = data
+	} else if ferr != nil {
+		s.drop(name, true)
+		s.misses.Add(1)
+		return platform.Stored{}, false
+	}
 	var b blob
-	if err := json.Unmarshal(data, &b); err != nil ||
+	if err := json.Unmarshal(payload, &b); err != nil ||
 		b.Version != PipelineVersion || b.Platform != platformName || b.SpecKey != specKey ||
 		(b.Compile == nil && !b.Failed) {
 		// The last clause rejects a blob whose identity frame survived
@@ -329,6 +373,13 @@ func (s *Store) Load(platformName, specKey string) (platform.Stored, bool) {
 		s.drop(name, true)
 		s.misses.Add(1)
 		return platform.Stored{}, false
+	}
+	if errors.Is(ferr, errNotFramed) {
+		select {
+		case s.wq <- putReq{name: name, payload: payload, upgrade: true}:
+		case <-s.done:
+		default:
+		}
 	}
 	if !indexed {
 		// A sibling process's write, discovered after our scan: adopt
@@ -363,6 +414,79 @@ func (s *Store) Load(platformName, specKey string) (platform.Stored, bool) {
 		Compile: b.Compile, Run: b.Run,
 		Failed: b.Failed, FailReason: b.FailReason,
 	}, true
+}
+
+// LoadRaw returns the pre-marshaled response bytes stored alongside a
+// blob's payload: directly servable, CRC-verified, and never JSON-
+// decoded. A v1 blob, a frame with no response section, a corrupt
+// frame, or any read failure is a raw miss — the caller falls back to
+// Load and the compute path, so this tier can never surface an error.
+// Identity needs no payload decode: the address already binds the
+// pipeline version, platform and spec key, and the CRC covers the
+// bytes.
+func (s *Store) LoadRaw(platformName, specKey string) ([]byte, bool) {
+	name := address(platformName, specKey)
+	s.mu.Lock()
+	e, indexed := s.index[name]
+	if indexed {
+		s.clock++
+		e.used = s.clock
+	}
+	s.mu.Unlock()
+
+	if !s.readBr.allow() {
+		s.skippedReads.Add(1)
+		s.rawMisses.Add(1)
+		return nil, false
+	}
+	data, err := s.readBlob(s.path(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.readBr.success()
+			if indexed {
+				s.drop(name, false)
+			}
+		} else {
+			s.readBr.failure()
+		}
+		s.rawMisses.Add(1)
+		return nil, false
+	}
+	s.readBr.success()
+	_, resp, ferr := decodeFrame(data)
+	if ferr != nil && !errors.Is(ferr, errNotFramed) {
+		s.drop(name, true)
+		s.rawMisses.Add(1)
+		return nil, false
+	}
+	if len(resp) == 0 {
+		// v1 blob or a frame written before any response was attached:
+		// a miss here, but the payload path still works.
+		s.rawMisses.Add(1)
+		return nil, false
+	}
+	if indexed {
+		s.maybeTouch(name)
+	}
+	s.rawHits.Add(1)
+	return resp, true
+}
+
+// StoreResponse attaches pre-marshaled response bytes to an existing
+// blob, write-behind. The writer merges them into the blob's frame; if
+// the blob is not on disk (evicted, or its payload write failed) the
+// response is silently dropped — like every store write, it is an
+// optimization, recomputable on the next request. Callers typically
+// enqueue the payload (via Store) before the response within one
+// request, and the single writer goroutine preserves that order.
+func (s *Store) StoreResponse(platformName, specKey string, resp []byte) {
+	if len(resp) == 0 {
+		return
+	}
+	select {
+	case s.wq <- putReq{name: address(platformName, specKey), resp: append([]byte(nil), resp...)}:
+	case <-s.done:
+	}
 }
 
 // maybeTouch refreshes a hit blob's file mtime when it has gone stale
@@ -533,7 +657,7 @@ func (s *Store) Store(platformName, specKey string, st platform.Stored) {
 		return
 	}
 	select {
-	case s.wq <- putReq{name: address(platformName, specKey), data: data}:
+	case s.wq <- putReq{name: address(platformName, specKey), payload: data}:
 	case <-s.done:
 	}
 }
@@ -571,13 +695,17 @@ func (s *Store) write(r putReq) {
 		s.skippedWrites.Add(1)
 		return
 	}
+	data, ok := s.frameForWrite(r)
+	if !ok {
+		return
+	}
 	var err error
 	for attempt := 0; attempt < s.retryAttempts; attempt++ {
 		if attempt > 0 {
 			s.writeRetries.Add(1)
 			s.backoff(attempt)
 		}
-		if err = s.writeOnce(r.name, r.data); err == nil {
+		if err = s.writeOnce(r.name, data); err == nil {
 			break
 		}
 	}
@@ -587,23 +715,66 @@ func (s *Store) write(r putReq) {
 		return
 	}
 	s.writeBr.success()
-	s.puts.Add(1)
+	switch {
+	case r.upgrade:
+		s.blobUpgrades.Add(1)
+	case r.payload != nil:
+		s.puts.Add(1)
+	}
 
 	s.mu.Lock()
 	s.clock++
 	now := time.Now().UnixNano()
 	if e, ok := s.index[r.name]; ok {
-		s.bytes += int64(len(r.data)) - e.size
-		e.size = int64(len(r.data))
+		s.bytes += int64(len(data)) - e.size
+		e.size = int64(len(data))
 		e.used = s.clock
 		e.touched = now
 	} else {
-		s.index[r.name] = &indexEntry{size: int64(len(r.data)), used: s.clock, touched: now}
-		s.bytes += int64(len(r.data))
+		s.index[r.name] = &indexEntry{size: int64(len(data)), used: s.clock, touched: now}
+		s.bytes += int64(len(data))
 	}
 	victims := s.evictLocked()
 	s.mu.Unlock()
 	s.remove(victims)
+}
+
+// frameForWrite assembles the v2 frame one putReq persists. All reads
+// here are plain (uninjected, unretried) best-effort probes of the
+// file this single-goroutine writer owns: a payload write carries an
+// existing frame's response section forward so re-storing an outcome
+// never drops its cached response bytes; a response write merges into
+// the existing payload and is dropped whole when no blob is on disk to
+// carry it.
+func (s *Store) frameForWrite(r putReq) ([]byte, bool) {
+	if r.payload != nil {
+		var resp []byte
+		s.mu.Lock()
+		_, exists := s.index[r.name]
+		s.mu.Unlock()
+		if exists {
+			// Only probe the disk when the index says there is something
+			// to salvage — the common case (a fresh blob) skips the read.
+			if cur, err := os.ReadFile(s.path(r.name)); err == nil {
+				if _, curResp, err := decodeFrame(cur); err == nil {
+					resp = curResp
+				}
+			}
+		}
+		return encodeFrame(r.payload, resp), true
+	}
+	cur, err := os.ReadFile(s.path(r.name))
+	if err != nil {
+		return nil, false
+	}
+	payload, _, ferr := decodeFrame(cur)
+	if ferr != nil {
+		if !errors.Is(ferr, errNotFramed) {
+			return nil, false // corrupt: leave it for a read path to drop
+		}
+		payload = cur // v1 blob: merging the response also frames it
+	}
+	return encodeFrame(payload, r.resp), true
 }
 
 // writeOnce is one atomic persist attempt (temp file + rename), with
@@ -710,6 +881,9 @@ func (s *Store) Stats() Stats {
 		Evictions:     s.evictions.Load(),
 		Corrupt:       s.corrupt.Load(),
 		WriteErrors:   s.wfails.Load(),
+		RawHits:       s.rawHits.Load(),
+		RawMisses:     s.rawMisses.Load(),
+		BlobUpgrades:  s.blobUpgrades.Load(),
 		Entries:       entries,
 		Bytes:         bytes,
 		BudgetBytes:   s.budget,
