@@ -9,7 +9,9 @@
 //	dabench scenario run <file|name>             execute a declarative multi-platform study
 //	dabench scenario list                        list the built-in scenario library
 //	dabench analyze [-csv] trace.jsonl           summarize a saved -trace record stream
+//	dabench provenance verify -data-dir DIR      verify the result-store provenance chain
 //	dabench list                                 list platforms, models and experiment IDs
+//	dabench version                              print the build version
 //
 // Add -csv to print CSV instead of aligned text. Experiment sweeps fan
 // out over -parallel workers (default: all cores) through the shared
@@ -37,11 +39,13 @@ import (
 	"dabench/internal/model"
 	"dabench/internal/platform"
 	"dabench/internal/precision"
+	"dabench/internal/provenance"
 	"dabench/internal/report"
 	"dabench/internal/scenario"
 	"dabench/internal/store"
 	"dabench/internal/sweep"
 	"dabench/internal/trace"
+	"dabench/internal/version"
 
 	dabench "dabench"
 )
@@ -66,13 +70,18 @@ func run(args []string) error {
 		return runScenario(args[1:])
 	case "analyze":
 		return runAnalyze(args[1:])
+	case "provenance":
+		return runProvenance(args[1:])
 	case "list":
 		return runList()
+	case "version", "-version", "--version":
+		fmt.Println("dabench", version.Version)
+		return nil
 	case "-h", "--help", "help":
-		fmt.Println("usage: dabench {experiments [id ...] | profile [flags] | scenario {run <file|name> | list} | analyze [-csv] file | list}")
+		fmt.Println("usage: dabench {experiments [id ...] | profile [flags] | scenario {run <file|name> | list} | analyze [-csv] file | provenance verify -data-dir DIR | list | version}")
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (try: experiments, profile, scenario, analyze, list)", args[0])
+		return fmt.Errorf("unknown command %q (try: experiments, profile, scenario, analyze, provenance, list, version)", args[0])
 	}
 }
 
@@ -202,22 +211,88 @@ func runExperiments(args []string) error {
 // platforms when a data dir is given. The CLI mounts the same
 // content-addressed layout the daemon uses under <data-dir>/store, so
 // a CLI run after a daemon sweep (or vice versa) reuses the other's
-// results. The cleanup unmounts and flushes; it is safe to call when
-// no store was mounted.
+// results. Every blob write appends to the same provenance chain the
+// daemon maintains, so mixed CLI/daemon histories verify as one chain.
+// The cleanup unmounts and flushes; it is safe to call when no store
+// was mounted.
 func mountStore(dataDir string, budget int64, inj *faults.Injector) (*store.Store, func(), error) {
 	if dataDir == "" {
 		return nil, func() {}, nil
 	}
-	st, err := store.OpenOptions(filepath.Join(dataDir, "store"),
-		store.Options{Budget: budget, Injector: inj})
+	prov, err := provenance.Open(filepath.Join(dataDir, "provenance.log"))
 	if err != nil {
+		return nil, nil, fmt.Errorf("provenance chain at %s is broken — investigate before writing more results (or move the file aside to start a fresh chain): %w",
+			filepath.Join(dataDir, "provenance.log"), err)
+	}
+	st, err := store.OpenOptions(filepath.Join(dataDir, "store"),
+		store.Options{Budget: budget, Injector: inj,
+			OnWrite: func(ev store.WriteEvent) {
+				prov.Append(ev.Addr, ev.Platform, ev.SpecKey, store.PipelineVersion)
+			}})
+	if err != nil {
+		prov.Close()
 		return nil, nil, err
 	}
 	experiments.SetResultStore(st)
 	return st, func() {
 		experiments.SetResultStore(nil)
-		st.Close()
+		st.Close() // flushes the write-behind queue, appending its last records
+		prov.Close()
 	}, nil
+}
+
+// runProvenance dispatches the provenance subcommands. The chain is the
+// tamper-evident companion of the result store: every blob the store
+// persists appends one hash-linked record, and verify replays both
+// halves against each other — the chain must hash-link end to end, and
+// every blob on disk must be claimed by a record that agrees on its
+// identity. (The converse is not required: evicted blobs legitimately
+// live on as chain-only records.)
+func runProvenance(args []string) error {
+	if len(args) == 0 || args[0] != "verify" {
+		return errors.New("usage: dabench provenance verify -data-dir DIR")
+	}
+	fs := flag.NewFlagSet("provenance verify", flag.ContinueOnError)
+	dataDir := fs.String("data-dir", "", "durable state directory whose chain and store to verify")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return errors.New("provenance verify: -data-dir is required")
+	}
+	res, err := provenance.VerifyFile(filepath.Join(*dataDir, "provenance.log"))
+	if err != nil {
+		return fmt.Errorf("provenance chain FAILED verification: %w", err)
+	}
+	var blobs, bad int
+	err = store.ScanBlobs(filepath.Join(*dataDir, "store"),
+		func(addr, platformName, specKey string, ver int) error {
+			blobs++
+			if platformName == "" {
+				bad++
+				fmt.Fprintf(os.Stderr, "dabench: blob %s is unreadable or undecodable\n", addr)
+				return nil
+			}
+			rec, ok := res.ByAddr[addr]
+			switch {
+			case !ok:
+				bad++
+				fmt.Fprintf(os.Stderr, "dabench: blob %s has no provenance record (written outside the chain?)\n", addr)
+			case rec.Platform != platformName || rec.SpecKey != specKey || rec.PipelineVersion != ver:
+				bad++
+				fmt.Fprintf(os.Stderr, "dabench: blob %s disagrees with its record: disk (%s, %s, v%d) vs chain (%s, %s, v%d)\n",
+					addr, platformName, specKey, ver, rec.Platform, rec.SpecKey, rec.PipelineVersion)
+			}
+			return nil
+		})
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if bad > 0 {
+		return fmt.Errorf("provenance verify FAILED: %d of %d blobs unaccounted for or mismatched", bad, blobs)
+	}
+	fmt.Printf("provenance OK: %d records, %d blobs verified, tip %s\n", res.Records, blobs, res.TipHash)
+	return nil
 }
 
 // armFaults loads a -fault-spec and installs it on the shared compile

@@ -2,6 +2,8 @@ package main
 
 import (
 	"dabench/internal/experiments"
+	"dabench/internal/platform"
+	"dabench/internal/provenance"
 	"dabench/internal/store"
 
 	dabench "dabench"
@@ -244,5 +246,117 @@ func TestDataDirSharesStoreAcrossRuns(t *testing.T) {
 	s := st2.Stats()
 	if s.Hits == 0 || s.Misses != 0 {
 		t.Errorf("warm run store stats = %d hits / %d misses, want all hits", s.Hits, s.Misses)
+	}
+}
+
+// chainedStore opens a store in dir with the provenance hook mounted —
+// the same wiring mountStore and the daemon use — and writes the given
+// spec-key → platform blobs through it.
+func chainedStore(t *testing.T, dir string, blobs map[string]string) {
+	t.Helper()
+	prov, err := provenance.Open(filepath.Join(dir, "provenance.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.OpenOptions(filepath.Join(dir, "store"), store.Options{
+		OnWrite: func(ev store.WriteEvent) {
+			prov.Append(ev.Addr, ev.Platform, ev.SpecKey, store.PipelineVersion)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, pn := range blobs {
+		st.Store(pn, key, platform.Stored{Failed: true, FailReason: "test blob"})
+	}
+	st.Close() // flushes the write-behind queue, firing the hook
+	prov.Close()
+}
+
+func TestProvenanceVerifyOK(t *testing.T) {
+	dir := t.TempDir()
+	chainedStore(t, dir, map[string]string{"spec-a": "WSE-2", "spec-b": "SN30"})
+	if err := runProvenance([]string{"verify", "-data-dir", dir}); err != nil {
+		t.Fatalf("verify of an intact chain failed: %v", err)
+	}
+}
+
+// TestProvenanceVerifyTampered pins the contract the chain exists for:
+// mutating one interior record makes verification fail loudly.
+func TestProvenanceVerifyTampered(t *testing.T) {
+	dir := t.TempDir()
+	chainedStore(t, dir, map[string]string{"spec-a": "WSE-2", "spec-b": "SN30"})
+	path := filepath.Join(dir, "provenance.log")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(b), `"pipeline_version":1`, `"pipeline_version":9`, 1)
+	if tampered == string(b) {
+		t.Fatal("tamper target not found in chain file")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = runProvenance([]string{"verify", "-data-dir", dir})
+	if err == nil {
+		t.Fatal("verify accepted a tampered record")
+	}
+	if !strings.Contains(err.Error(), "tampered") && !strings.Contains(err.Error(), "chain broken") {
+		t.Errorf("tamper error %q does not name the damage", err)
+	}
+}
+
+// TestProvenanceVerifyUnchainedBlob: a blob on disk with no chain
+// record (written outside the hook) must fail the cross-check.
+func TestProvenanceVerifyUnchainedBlob(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.OpenOptions(filepath.Join(dir, "store"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Store("WSE-2", "spec-rogue", platform.Stored{Failed: true, FailReason: "test blob"})
+	st.Close()
+	err = runProvenance([]string{"verify", "-data-dir", dir})
+	if err == nil || !strings.Contains(err.Error(), "unaccounted") {
+		t.Errorf("verify of an unchained blob = %v, want unaccounted-for failure", err)
+	}
+}
+
+// TestProvenanceVerifyEmpty: a data dir that was never written to
+// verifies clean (empty chain, no blobs).
+func TestProvenanceVerifyEmpty(t *testing.T) {
+	if err := runProvenance([]string{"verify", "-data-dir", t.TempDir()}); err != nil {
+		t.Fatalf("verify of an empty data dir failed: %v", err)
+	}
+}
+
+func TestProvenanceUsage(t *testing.T) {
+	if err := run([]string{"provenance"}); err == nil {
+		t.Error("bare provenance command should fail with usage")
+	}
+	if err := run([]string{"provenance", "verify"}); err == nil {
+		t.Error("verify without -data-dir should fail")
+	}
+}
+
+// TestExperimentsChainProvenance: a real CLI run with -data-dir leaves
+// behind a chain that verifies against the store it shadowed.
+func TestExperimentsChainProvenance(t *testing.T) {
+	dir := t.TempDir()
+	experiments.ResetCaches()
+	if err := run([]string{"experiments", "-q", "-data-dir", dir, "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"provenance", "verify", "-data-dir", dir}); err != nil {
+		t.Fatalf("chain left by an experiments run failed verification: %v", err)
+	}
+}
+
+func TestVersionCommand(t *testing.T) {
+	for _, arg := range []string{"version", "-version", "--version"} {
+		if err := run([]string{arg}); err != nil {
+			t.Errorf("%s: %v", arg, err)
+		}
 	}
 }

@@ -12,6 +12,17 @@
 //	         [-job-workers N] [-max-job-points 1048576]
 //	         [-chunk-retries 3] [-chunk-retry-backoff 50ms]
 //	         [-allow-faults -fault-spec SPEC]
+//	         [-stage-log FILE] [-version]
+//
+// Observability: GET /metrics renders every internal counter plus
+// per-request stage and per-platform pipeline latency histograms in
+// Prometheus text exposition; each served response carries a
+// Server-Timing header with its stage breakdown, and -stage-log
+// appends the same breakdown as one CSV row per request. With
+// -data-dir every store blob write also appends to a hash-linked
+// provenance chain at DIR/provenance.log (GET /v1/provenance/{addr}
+// looks records up; `dabench provenance verify` audits the chain
+// offline). A chain that fails verification at startup is fatal.
 //
 // Repeat requests ride the warm serve path: responses carry strong
 // ETags (If-None-Match revalidation answers 304 with no body and no
@@ -65,9 +76,11 @@ import (
 
 	"dabench/internal/experiments"
 	"dabench/internal/faults"
+	"dabench/internal/provenance"
 	"dabench/internal/server"
 	"dabench/internal/store"
 	"dabench/internal/sweep"
+	"dabench/internal/version"
 )
 
 func main() {
@@ -94,8 +107,14 @@ func run(args []string) error {
 	chunkBackoff := fs.Duration("chunk-retry-backoff", 0, "initial backoff between chunk attempts (0 = default 50ms)")
 	faultSpec := fs.String("fault-spec", "", "fault-injection spec: inline JSON or a file path (requires -allow-faults)")
 	allowFaults := fs.Bool("allow-faults", false, "acknowledge that -fault-spec deliberately injects failures")
+	stageLog := fs.String("stage-log", "", "append per-request stage timings as CSV rows to this file")
+	showVersion := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println("dabenchd", version.Version)
+		return nil
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
@@ -155,6 +174,7 @@ func run(args []string) error {
 		ChunkRetries:      *chunkRetries,
 		ChunkRetryBackoff: *chunkBackoff,
 		Injector:          inj,
+		StageLogPath:      *stageLog,
 	}
 	// The one injector reaches every hook tier: the store's I/O sites
 	// (via Options), the compile path (via the experiments seam), and
@@ -162,8 +182,22 @@ func run(args []string) error {
 	experiments.SetFaultInjector(inj)
 	defer experiments.SetFaultInjector(nil)
 	if *dataDir != "" {
+		// The provenance chain opens before the store so its Close defers
+		// after the store's flush — the last write-behind blobs append
+		// before the chain file closes. A chain that fails verification
+		// is a fatal startup error on purpose: tamper evidence that gets
+		// silently rebuilt is not evidence.
+		prov, err := provenance.Open(filepath.Join(*dataDir, "provenance.log"))
+		if err != nil {
+			return fmt.Errorf("provenance chain at %s is broken — investigate before serving (or move the file aside to start a fresh chain): %w",
+				filepath.Join(*dataDir, "provenance.log"), err)
+		}
+		defer prov.Close()
 		st, err := store.OpenOptions(filepath.Join(*dataDir, "store"),
-			store.Options{Budget: *storeBudget, Injector: inj})
+			store.Options{Budget: *storeBudget, Injector: inj,
+				OnWrite: func(ev store.WriteEvent) {
+					prov.Append(ev.Addr, ev.Platform, ev.SpecKey, store.PipelineVersion)
+				}})
 		if err != nil {
 			return err
 		}
@@ -171,9 +205,10 @@ func run(args []string) error {
 		experiments.SetResultStore(st)
 		defer experiments.SetResultStore(nil)
 		cfg.Store = st
+		cfg.Provenance = prov
 		cfg.JobsDir = filepath.Join(*dataDir, "jobs")
-		fmt.Fprintf(os.Stderr, "dabenchd: durable state in %s (%d store entries warm, budget %d bytes)\n",
-			*dataDir, st.Stats().Entries, *storeBudget)
+		fmt.Fprintf(os.Stderr, "dabenchd: durable state in %s (%d store entries warm, budget %d bytes, provenance chain at %d records)\n",
+			*dataDir, st.Stats().Entries, *storeBudget, prov.Stats().Records)
 	}
 	h, err := server.New(cfg)
 	if err != nil {

@@ -148,6 +148,16 @@ func SetFaultInjector(in *faults.Injector) {
 	platform.SetFaultInjector(in)
 }
 
+// SetStageHook mounts (or, with nil, unmounts) the pipeline stage
+// observer on the shared platforms — fired around every real Compile
+// and Run (never on cache hits), with the platform name, stage and
+// wall-clock duration. The server's /metrics stage histograms are the
+// intended consumer; like the fault seam above, it survives the
+// rebuilds SetResultStore triggers.
+func SetStageHook(fn platform.StageHook) {
+	platform.SetStageHook(fn)
+}
+
 func rebuildLocked() {
 	cachedWSE = platform.CachedWithStore(wse.New(), resultStore)
 	cachedRDU = platform.CachedWithStore(rdu.New(), resultStore)

@@ -89,7 +89,9 @@ func (c *cached) Compile(spec TrainSpec) (*CompileReport, error) {
 				return st.Compile, nil
 			}
 		}
-		cr, err := c.p.Compile(spec)
+		cr, err := observeStage(c.p.Name(), StageCompile, func() (*CompileReport, error) {
+			return c.p.Compile(spec)
+		})
 		if c.rs != nil {
 			switch {
 			case err == nil:
@@ -106,7 +108,9 @@ func (c *cached) Compile(spec TrainSpec) (*CompileReport, error) {
 
 func (c *cached) Run(cr *CompileReport) (*RunReport, error) {
 	return c.run.Do(cr, func() (*RunReport, error) {
-		rr, err := c.p.Run(cr)
+		rr, err := observeStage(c.p.Name(), StageRun, func() (*RunReport, error) {
+			return c.p.Run(cr)
+		})
 		if err == nil && c.rs != nil {
 			c.rs.Store(c.p.Name(), cr.Spec.Key(), Stored{Compile: cr, Run: rr})
 		}

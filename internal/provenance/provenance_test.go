@@ -1,0 +1,195 @@
+package provenance
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openLog(t *testing.T, path string) *Log {
+	t.Helper()
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestAppendAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prov.log")
+	l := openLog(t, path)
+	l.Append("addr-a", "wse", "spec-a", 1)
+	l.Append("addr-b", "rdu", "spec-b", 1)
+	l.Append("addr-a", "wse", "spec-a", 1) // dedup: same address
+	st := l.Stats()
+	if st.Records != 2 {
+		t.Fatalf("Records = %d, want 2 (duplicate address must not append)", st.Records)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopened log resumes the same chain: tip carries over, the
+	// index answers lookups, and a fresh append links to the old tip.
+	l2 := openLog(t, path)
+	if got := l2.Stats(); got != st {
+		t.Fatalf("reopened stats = %+v, want %+v", got, st)
+	}
+	r, ok := l2.Lookup("addr-b")
+	if !ok || r.Platform != "rdu" || r.SpecKey != "spec-b" || r.Seq != 2 {
+		t.Fatalf("Lookup(addr-b) = %+v %v", r, ok)
+	}
+	l2.Append("addr-c", "ipu", "spec-c", 1)
+	res, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 3 || res.TipHash != l2.Stats().TipHash {
+		t.Fatalf("VerifyFile = %+v, log tip %s", res, l2.Stats().TipHash)
+	}
+}
+
+func TestVerifyDetectsTamperedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prov.log")
+	l := openLog(t, path)
+	for i, a := range []string{"a", "b", "c"} {
+		l.Append("addr-"+a, "wse", "spec-"+a, 1+i%1) // pipeline version 1
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper with the middle record's spec key, keeping the line valid
+	// JSON: the record's own hash no longer matches its content.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	var r Record
+	if err := json.Unmarshal([]byte(lines[1]), &r); err != nil {
+		t.Fatal(err)
+	}
+	r.SpecKey = "spec-FORGED"
+	forged, _ := json.Marshal(r)
+	lines[1] = string(forged)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := VerifyFile(path); err == nil || !strings.Contains(err.Error(), "tampered") {
+		t.Fatalf("VerifyFile on tampered record: err = %v, want tamper failure", err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open on tampered log must refuse, got nil error")
+	}
+
+	// Re-hashing the forged record does not help either: its successor
+	// no longer links (prev_hash mismatch), so the chain stays broken.
+	r.Hash = hashRecord(r)
+	forged, _ = json.Marshal(r)
+	lines[1] = string(forged)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyFile(path); err == nil || !strings.Contains(err.Error(), "chain broken") {
+		t.Fatalf("VerifyFile on re-hashed forgery: err = %v, want link failure", err)
+	}
+}
+
+func TestTornTailIsTruncatedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prov.log")
+	l := openLog(t, path)
+	l.Append("addr-a", "wse", "spec-a", 1)
+	l.Append("addr-b", "rdu", "spec-b", 1)
+	tip := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half a JSON line at the end.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"prev_hash":"dead`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Open truncates the torn record and resumes from the intact tip;
+	// the next append extends the verified chain.
+	l2 := openLog(t, path)
+	if got := l2.Stats(); got != tip {
+		t.Fatalf("stats after torn-tail open = %+v, want %+v", got, tip)
+	}
+	l2.Append("addr-c", "ipu", "spec-c", 1)
+	if res, err := VerifyFile(path); err != nil || res.Records != 3 {
+		t.Fatalf("VerifyFile after recovery = %+v, %v", res, err)
+	}
+
+	// Offline verification, by contrast, refuses a torn tail outright.
+	f, err = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"torn":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := VerifyFile(path); err == nil {
+		t.Fatal("VerifyFile must fail on a torn tail")
+	}
+}
+
+func TestInteriorGarbageRefusesOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prov.log")
+	l := openLog(t, path)
+	l.Append("addr-a", "wse", "spec-a", 1)
+	l.Close()
+	data, _ := os.ReadFile(path)
+	// Garbage line followed by the valid record: interior damage, not a
+	// torn tail — Open must refuse rather than truncate history.
+	if err := os.WriteFile(path, append([]byte("not json\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open must refuse interior garbage")
+	}
+}
+
+func TestVerifyFileMissingIsEmptyChain(t *testing.T) {
+	res, err := VerifyFile(filepath.Join(t.TempDir(), "absent.log"))
+	if err != nil || res.Records != 0 || res.TipHash != GenesisHash() {
+		t.Fatalf("VerifyFile(absent) = %+v, %v", res, err)
+	}
+}
+
+func TestConcurrentAppendsKeepChainIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prov.log")
+	l := openLog(t, path)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Append("addr-"+string(rune('a'+w))+"-"+string(rune('0'+i%10)), "wse", "spec", 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 80 { // 8 writers × 10 distinct addresses each
+		t.Fatalf("Records = %d, want 80", res.Records)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"dabench/internal/jobs"
 	"dabench/internal/scenario"
@@ -74,6 +75,7 @@ func scenarioFormat(w http.ResponseWriter, r *http.Request, dflt string) (string
 // admission gate; only the compute path claims a slot and shares the
 // in-flight budget and request deadline with the other heavy endpoints.
 func (s *Server) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
+	st := newStageTimer(epScenarioGet)
 	name := r.PathValue("name")
 	sc, ok := scenario.ByName(name)
 	if !ok {
@@ -86,6 +88,8 @@ func (s *Server) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
 	}
 	etag := scenarioETag(name, format)
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		st.observe(stgAdmission, 0)
+		s.finishStages(w, &st)
 		s.writeNotModified(w, etag)
 		s.served.Add(1)
 		return
@@ -93,29 +97,38 @@ func (s *Server) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
 	ck := scenarioRespKey(name, format)
 	if s.resp != nil {
 		if e, ok := s.resp.Get(ck); ok {
+			st.observe(stgAdmission, 0)
+			s.finishStages(w, &st)
 			serveEntry(w, e)
 			s.served.Add(1)
 			return
 		}
 	}
 
+	t := time.Now()
 	if !s.acquire(w) {
 		return
 	}
+	st.observe(stgAdmission, time.Since(t))
 	defer s.release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	defer s.served.Add(1)
+	t = time.Now()
 	out, err := scenario.Run(ctx, sc, scenario.RunOptions{})
+	st.observe(stgRun, time.Since(t))
 	if err != nil {
 		s.writeRunError(w, err)
 		return
 	}
+	t = time.Now()
 	body, contentType, err := renderScenario(out, format)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
+	st.observe(stgRender, time.Since(t))
+	s.finishStages(w, &st)
 	s.cacheAndServe(w, ck, etag, contentType, body)
 }
 
@@ -127,6 +140,7 @@ func (s *Server) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
 // synchronous response for the same scenario — both paths encode one
 // scenario.Outcome with the same encoder.
 func (s *Server) handleScenarioSubmit(w http.ResponseWriter, r *http.Request) {
+	st := newStageTimer(epScenarioPost)
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "read body: "+err.Error())
@@ -146,6 +160,7 @@ func (s *Server) handleScenarioSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	st.observe(stgDecode, time.Since(st.t0))
 
 	if total > s.cfg.MaxSweepPoints {
 		// Too heavy for a synchronous answer: hand it to the job
@@ -172,18 +187,32 @@ func (s *Server) handleScenarioSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	t := time.Now()
 	if !s.acquire(w) {
 		return
 	}
+	st.observe(stgAdmission, time.Since(t))
 	defer s.release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	t = time.Now()
 	out, err := scenario.Run(ctx, sc, scenario.RunOptions{})
+	st.observe(stgRun, time.Since(t))
 	if err != nil {
 		s.writeRunError(w, err)
 		return
 	}
-	writeScenario(w, out, format)
+	t = time.Now()
+	body, contentType, err := renderScenario(out, format)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	st.observe(stgRender, time.Since(t))
+	s.finishStages(w, &st)
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
 	s.served.Add(1)
 }
 

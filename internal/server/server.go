@@ -42,8 +42,11 @@ import (
 	"dabench/internal/jobs"
 	"dabench/internal/memo"
 	"dabench/internal/platform"
+	"dabench/internal/provenance"
 	"dabench/internal/store"
 	"dabench/internal/sweep"
+	"dabench/internal/telemetry"
+	"dabench/internal/version"
 )
 
 // Config tunes one Server.
@@ -95,6 +98,15 @@ type Config struct {
 	// executor's chunk boundary, handed to the job journal, and snap-
 	// shotted into /v1/stats. Nil injects nothing.
 	Injector *faults.Injector
+
+	// Provenance is the hash-linked blob lineage log GET
+	// /v1/provenance/{addr} answers from (and /metrics gauges). Nil —
+	// no data dir — disables the endpoint.
+	Provenance *provenance.Log
+	// StageLogPath, when set, appends one CSV row of per-stage timings
+	// for every served request (the flight-recorder complement to the
+	// /metrics histograms).
+	StageLogPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -135,16 +147,17 @@ type Stats struct {
 	MaxInFlight  int                            `json:"max_in_flight"`
 	SweepWorkers int                            `json:"sweep_workers"`
 	UptimeSec    float64                        `json:"uptime_sec"`
+	Version      string                         `json:"version"`
 	Caches       map[string]cachestats.Snapshot `json:"caches"`
 	// RespCache is the L0 response-byte tier's counters (absent when
 	// the tier is disabled); NotModified counts 304 fast-lane answers;
 	// BlobUpgrades mirrors the store's v1→v2 frame rewrites (0 without
 	// a store).
-	RespCache    *cachestats.ByteSnapshot       `json:"resp_cache,omitempty"`
-	NotModified  int64                          `json:"not_modified"`
-	BlobUpgrades int64                          `json:"blob_upgrades"`
-	Store        *store.Stats                   `json:"store,omitempty"`
-	Jobs         *jobs.Gauges                   `json:"jobs,omitempty"`
+	RespCache    *cachestats.ByteSnapshot `json:"resp_cache,omitempty"`
+	NotModified  int64                    `json:"not_modified"`
+	BlobUpgrades int64                    `json:"blob_upgrades"`
+	Store        *store.Stats             `json:"store,omitempty"`
+	Jobs         *jobs.Gauges             `json:"jobs,omitempty"`
 	// Resilience counters: chunk-level job retries and quarantines, plus
 	// the fault injector's fire counts when one is mounted.
 	ChunkRetries      int64         `json:"chunk_retries,omitempty"`
@@ -169,6 +182,16 @@ type Server struct {
 	resp        *memo.ByteLRU[string, *respEntry]
 	raw         platform.RawResponseStore
 	unhookReset func()
+
+	// reg is the /metrics registry; stageHist the pre-resolved
+	// (endpoint, stage) histogram grid (nil cells are stages that
+	// endpoint never records); pipeHist the per-platform simulator-work
+	// histograms fed by the experiments stage hook. stageLog is the
+	// optional CSV flight recorder.
+	reg       *telemetry.Registry
+	stageHist [nEndpoints][nStages]*telemetry.Histogram
+	pipeHist  map[string]*telemetry.Histogram
+	stageLog  *stageLog
 
 	inFlight          atomic.Int64
 	served            atomic.Int64
@@ -199,10 +222,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store != nil {
 		s.raw = cfg.Store
 	}
+	s.initMetrics()
+	if cfg.StageLogPath != "" {
+		sl, err := openStageLog(cfg.StageLogPath)
+		if err != nil {
+			if s.unhookReset != nil {
+				s.unhookReset()
+			}
+			return nil, err
+		}
+		s.stageLog = sl
+	}
 	jm, err := jobs.Open(jobs.Config{Dir: cfg.JobsDir, Run: s.runJob, Injector: cfg.Injector})
 	if err != nil {
 		if s.unhookReset != nil {
 			s.unhookReset()
+		}
+		if s.stageLog != nil {
+			_ = s.stageLog.Close()
 		}
 		return nil, err
 	}
@@ -211,15 +248,22 @@ func New(cfg Config) (*Server, error) {
 		s.Close()
 		return nil, err
 	}
+	// The pipeline stage hook is process-global (it must survive the
+	// cached-platform rebuilds SetResultStore triggers); the last server
+	// constructed owns it, and Close unmounts it. One daemon process
+	// runs one server, so the global is only contended in tests.
+	experiments.SetStageHook(s.pipelineStage)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/provenance/{addr}", s.handleProvenance)
 	// The warm-path endpoints manage admission inline: their ETag/304
 	// and response-byte fast lanes answer repeat requests before ever
 	// claiming a simulation slot, so only the compute path is gated.
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
-	s.mux.HandleFunc("GET /v1/experiments/{id}", s.admit(s.handleExperiment))
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
 	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioGet)
 	// Scenario submission manages admission itself: a document under
@@ -243,9 +287,14 @@ func New(cfg Config) (*Server, error) {
 // cache's reset hook. The HTTP listener's drain is the caller's
 // http.Server.Shutdown, done before this.
 func (s *Server) Close() {
+	experiments.SetStageHook(nil)
 	if s.unhookReset != nil {
 		s.unhookReset()
 		s.unhookReset = nil
+	}
+	if s.stageLog != nil {
+		_ = s.stageLog.Close()
+		s.stageLog = nil
 	}
 	s.jobs.Close()
 }
@@ -283,22 +332,6 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 func (s *Server) release() {
 	s.inFlight.Add(-1)
 	<-s.sem
-}
-
-// admit wraps a heavy handler with the bounded-semaphore admission
-// gate and the per-request deadline.
-func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if !s.acquire(w) {
-			return
-		}
-		defer s.release()
-
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
-		h(w, r.WithContext(ctx))
-		s.served.Add(1)
-	}
 }
 
 // retryAfterSecs derives a Retry-After hint from the amount of work
@@ -393,6 +426,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		MaxInFlight:  cap(s.sem),
 		SweepWorkers: sweep.DefaultWorkers(),
 		UptimeSec:    time.Since(s.start).Seconds(),
+		Version:      version.Version,
 		Caches: map[string]cachestats.Snapshot{
 			"compile": experiments.CacheStats().Snapshot(),
 			"run":     experiments.RunCacheStats().Snapshot(),
@@ -418,6 +452,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	st := newStageTimer(epRun)
 	bb, body, err := readBody(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
@@ -435,6 +470,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	bodyKeyed := s.resp != nil && bb != nil && bytes.IndexByte(body, 0) < 0
 	if bodyKeyed {
 		if e, ok := memo.LookupBytes(s.resp, body); ok {
+			// Fast lanes bypass admission entirely, but the histogram
+			// still gets an explicit zero sample — without it the
+			// admission distribution would describe only cold requests.
+			st.observe(stgAdmission, 0)
+			s.finishStages(w, &st)
 			if inm != "" && etagMatches(inm, e.etag) {
 				s.writeNotModifiedEntry(w, e)
 			} else {
@@ -461,6 +501,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := spec.Key()
+	st.observe(stgDecode, time.Since(st.t0))
 
 	// alias installs a served entry under the verbatim body bytes, so
 	// the next identical POST takes the zero-decode lane above. The
@@ -477,6 +518,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.resp != nil {
 		if e, ok := s.resp.Get(runRespKey(p.Name(), key)); ok {
 			alias(e)
+			st.observe(stgAdmission, 0)
+			s.finishStages(w, &st)
 			if inm != "" && etagMatches(inm, e.etag) {
 				s.writeNotModifiedEntry(w, e)
 			} else {
@@ -493,6 +536,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// hold a matching tag from a prior 200 of this same identity.
 	etag := runETag(p.Name(), key)
 	if inm != "" && etagMatches(inm, etag) {
+		st.observe(stgAdmission, 0)
+		s.finishStages(w, &st)
 		s.writeNotModified(w, etag)
 		s.served.Add(1)
 		return
@@ -501,7 +546,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// L2 raw: the framed blob's pre-marshaled response section —
 	// servable bytes with zero JSON work, refilling L0 on the way out.
 	if s.raw != nil {
-		if raw, ok := s.raw.LoadRaw(p.Name(), key); ok {
+		t := time.Now()
+		raw, ok := s.raw.LoadRaw(p.Name(), key)
+		st.observe(stgStoreRead, time.Since(t))
+		if ok {
+			st.observe(stgAdmission, 0)
+			s.finishStages(w, &st)
 			alias(s.cacheAndServe(w, runRespKey(p.Name(), key), etag, ctJSON, raw))
 			s.served.Add(1)
 			return
@@ -509,13 +559,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Cold: admission gate, deadline, simulate.
+	t := time.Now()
 	if !s.acquire(w) {
 		return
 	}
+	st.observe(stgAdmission, time.Since(t))
 	defer s.release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	alias(s.runSlow(w, r.WithContext(ctx), p, spec, etag))
+	alias(s.runSlow(w, r.WithContext(ctx), p, spec, etag, &st))
 	s.served.Add(1)
 }
 
@@ -525,12 +577,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // pure functions, milliseconds each), so the deadline is honored at
 // the stage boundaries instead. Returns the cached entry it served, or
 // nil on error paths (nothing cacheable was produced).
-func (s *Server) runSlow(w http.ResponseWriter, r *http.Request, p platform.CachedPlatform, spec platform.TrainSpec, etag string) *respEntry {
+func (s *Server) runSlow(w http.ResponseWriter, r *http.Request, p platform.CachedPlatform, spec platform.TrainSpec, etag string, st *stageTimer) *respEntry {
 	if err := r.Context().Err(); err != nil {
 		s.writeRunError(w, err)
 		return nil
 	}
+	t := time.Now()
 	cr, err := p.Compile(spec)
+	st.observe(stgCompile, time.Since(t))
 	if err != nil {
 		if platform.IsCompileFailure(err) {
 			// A placement failure is a finding — the paper's "Fail"
@@ -538,7 +592,7 @@ func (s *Server) runSlow(w http.ResponseWriter, r *http.Request, p platform.Cach
 			// a success (the store persists it as a Failed blob).
 			res := result(p, spec, nil, nil)
 			res.Failed, res.FailReason = true, err.Error()
-			return s.finishRun(w, p.Name(), etag, res)
+			return s.finishRun(w, p.Name(), etag, res, st)
 		}
 		// The simulators validate their inputs in Compile; anything
 		// that is neither placement nor validation would have failed
@@ -550,12 +604,14 @@ func (s *Server) runSlow(w http.ResponseWriter, r *http.Request, p platform.Cach
 		s.writeRunError(w, err)
 		return nil
 	}
+	t = time.Now()
 	rr, err := p.Run(cr)
+	st.observe(stgRun, time.Since(t))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return nil
 	}
-	return s.finishRun(w, p.Name(), etag, result(p, spec, cr, rr))
+	return s.finishRun(w, p.Name(), etag, result(p, spec, cr, rr), st)
 }
 
 // finishRun marshals a run outcome exactly once and fans the bytes out
@@ -563,7 +619,8 @@ func (s *Server) runSlow(w http.ResponseWriter, r *http.Request, p platform.Cach
 // frame response section (write-behind) so the next process boots with
 // a byte-warm path. Returns the entry it served (nil if encoding
 // failed).
-func (s *Server) finishRun(w http.ResponseWriter, platformName, etag string, res RunResult) *respEntry {
+func (s *Server) finishRun(w http.ResponseWriter, platformName, etag string, res RunResult, st *stageTimer) *respEntry {
+	t := time.Now()
 	buf, err := encodeJSON(res)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
@@ -571,11 +628,16 @@ func (s *Server) finishRun(w http.ResponseWriter, platformName, etag string, res
 	}
 	body := append([]byte(nil), buf.Bytes()...)
 	putBuf(buf)
-	e := s.cacheAndServe(w, runRespKey(platformName, res.SpecKey), etag, ctJSON, body)
+	st.observe(stgRender, time.Since(t))
 	if s.raw != nil {
+		// The enqueue, not the disk write — the store is write-behind,
+		// so this is the full store cost the request path pays.
+		t = time.Now()
 		s.raw.StoreResponse(platformName, res.SpecKey, body)
+		st.observe(stgStoreWrite, time.Since(t))
 	}
-	return e
+	s.finishStages(w, st)
+	return s.cacheAndServe(w, runRespKey(platformName, res.SpecKey), etag, ctJSON, body)
 }
 
 // SweepResponse is the /v1/sweep payload; Results follows the
@@ -605,6 +667,7 @@ type ChunkFailure struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	st := newStageTimer(epSweep)
 	var req SweepRequest
 	if err := decodeLean(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
@@ -626,12 +689,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	// Decode covers the body read through the cross-product expansion —
+	// everything before the serve/compute decision.
+	st.observe(stgDecode, time.Since(st.t0))
 
 	// Fast lane: the ETag pins (pipeline version, platform, ordered
 	// point keys) — the whole response identity — so both the 304 and
 	// the L0 byte hit skip the admission gate and the worker pool.
 	etag := sweepETag(p.Name(), specs)
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		st.observe(stgAdmission, 0)
+		s.finishStages(w, &st)
 		s.writeNotModified(w, etag)
 		s.served.Add(1)
 		return
@@ -639,29 +707,36 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ck := "sweep\x00" + etag
 	if s.resp != nil {
 		if e, ok := s.resp.Get(ck); ok {
+			st.observe(stgAdmission, 0)
+			s.finishStages(w, &st)
 			serveEntry(w, e)
 			s.served.Add(1)
 			return
 		}
 	}
 
+	t := time.Now()
 	if !s.acquire(w) {
 		return
 	}
+	st.observe(stgAdmission, time.Since(t))
 	defer s.release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	defer s.served.Add(1)
 
+	t = time.Now()
 	outs, err := sweep.Map(ctx, specs,
 		func(_ context.Context, _ int, spec platform.TrainSpec) (RunResult, error) {
 			return runPoint(p, spec)
 		})
+	st.observe(stgRun, time.Since(t))
 	if err != nil {
 		s.writeRunError(w, err)
 		return
 	}
 
+	t = time.Now()
 	resp := SweepResponse{Platform: p.Name(), Points: len(outs)}
 	resp.Results = make([]RunResult, len(outs))
 	for i, o := range outs {
@@ -681,6 +756,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	body := append([]byte(nil), buf.Bytes()...)
 	putBuf(buf)
+	st.observe(stgRender, time.Since(t))
+	s.finishStages(w, &st)
 	s.cacheAndServe(w, ck, etag, ctJSON, body)
 }
 
@@ -717,7 +794,11 @@ func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"experiments": experiments.IDs()})
 }
 
+// handleExperiment manages admission inline (it was the last admit-
+// wrapped handler): validation rejects answer before claiming a slot,
+// and the stage timer needs the acquire duration the wrapper hid.
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	st := newStageTimer(epExperiment)
 	id := r.PathValue("id")
 	runner, ok := experiments.All()[id]
 	if !ok {
@@ -733,21 +814,46 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := runner(r.Context())
+	t := time.Now()
+	if !s.acquire(w) {
+		return
+	}
+	st.observe(stgAdmission, time.Since(t))
+	defer s.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	defer s.served.Add(1)
+
+	t = time.Now()
+	res, err := runner(ctx)
+	st.observe(stgRun, time.Since(t))
 	if err != nil {
 		s.writeRunError(w, err)
 		return
 	}
 
+	t = time.Now()
 	switch format {
 	case "trace":
-		writeJSON(w, http.StatusOK, res.Trace)
+		buf, err := encodeJSON(res.Trace)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		st.observe(stgRender, time.Since(t))
+		s.finishStages(w, &st)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		_, _ = w.Write(buf.Bytes())
+		putBuf(buf)
 	case "csv":
 		var buf bytes.Buffer
 		if err := res.Render(&buf, true); err != nil {
 			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 			return
 		}
+		st.observe(stgRender, time.Since(t))
+		s.finishStages(w, &st)
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 		_, _ = w.Write(buf.Bytes())
 	default:
@@ -758,9 +864,31 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 			return
 		}
+		st.observe(stgRender, time.Since(t))
+		s.finishStages(w, &st)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write(buf.Bytes())
 	}
+}
+
+// handleProvenance answers one blob's chain record: where a served
+// result came from (platform, spec key, pipeline version) and where it
+// sits in the tamper-evident chain. The address is exactly the
+// unquoted ETag /v1/run returns for the same outcome.
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Provenance == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"no provenance log (the daemon is running without -data-dir)")
+		return
+	}
+	addr := r.PathValue("addr")
+	rec, ok := s.cfg.Provenance.Lookup(addr)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"no provenance record for "+strconv.Quote(addr))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 // writeRunError maps a pipeline error to the wire: deadline → 504,

@@ -87,8 +87,8 @@ type Stats struct {
 	RawMisses    int64 `json:"raw_misses,omitempty"`
 	BlobUpgrades int64 `json:"blob_upgrades,omitempty"`
 	Entries      int64 `json:"entries"`
-	Bytes       int64   `json:"bytes"`
-	BudgetBytes int64   `json:"budget_bytes,omitempty"`
+	Bytes        int64 `json:"bytes"`
+	BudgetBytes  int64 `json:"budget_bytes,omitempty"`
 	// Resilience counters: retry totals, operations skipped because a
 	// breaker was open, unlinks that failed (and were re-adopted so the
 	// byte accounting tracks the disk), and the two breakers' state.
@@ -131,6 +131,11 @@ type putReq struct {
 	resp    []byte
 	upgrade bool          // payload write triggered by a v1 blob read
 	flush   chan struct{} // non-nil: flush barrier, no write
+	// platformName and specKey ride along on payload writes so the
+	// OnWrite hook can report the blob's identity without re-decoding
+	// what was just encoded.
+	platformName string
+	specKey      string
 }
 
 // Store is an open result store. Create with Open; safe for concurrent
@@ -144,6 +149,7 @@ type Store struct {
 	inj           *faults.Injector // nil in production: one pointer compare per I/O
 	readBr        *breaker
 	writeBr       *breaker
+	onWrite       func(WriteEvent) // nil = unobserved; runs on the writer goroutine
 
 	mu    sync.Mutex
 	index map[string]*indexEntry
@@ -194,6 +200,26 @@ type Options struct {
 	// Injector is the optional fault-injection hook fired at the store's
 	// read/write/remove syscall sites. Nil injects nothing.
 	Injector *faults.Injector
+	// OnWrite, when set, observes every successful blob payload persist
+	// (fresh puts and v1→v2 upgrades; response-byte merges are excluded
+	// because they do not change the outcome's identity). It runs on the
+	// single writer goroutine, so it must be fast and must never fail
+	// the write — provenance logging is the intended consumer.
+	OnWrite func(WriteEvent)
+}
+
+// WriteEvent describes one durably persisted blob for Options.OnWrite.
+type WriteEvent struct {
+	// Addr is the blob's content address (its on-disk name).
+	Addr string
+	// Platform and SpecKey are the identity the address was derived
+	// from; empty on upgrade rewrites of v1 blobs read by a process that
+	// did not know the identity (never happens via Load, which always
+	// knows both).
+	Platform string
+	SpecKey  string
+	// Upgrade marks a v1→v2 frame rewrite rather than a fresh outcome.
+	Upgrade bool
 }
 
 // Open loads the store rooted at dir (created if absent), rebuilding
@@ -226,6 +252,7 @@ func OpenOptions(dir string, o Options) (*Store, error) {
 		inj:           o.Injector,
 		readBr:        newBreaker(o.BreakerThreshold, o.BreakerCooldown),
 		writeBr:       newBreaker(o.BreakerThreshold, o.BreakerCooldown),
+		onWrite:       o.OnWrite,
 		index:         map[string]*indexEntry{},
 		wq:            make(chan putReq, 1024),
 		done:          make(chan struct{}),
@@ -376,7 +403,7 @@ func (s *Store) Load(platformName, specKey string) (platform.Stored, bool) {
 	}
 	if errors.Is(ferr, errNotFramed) {
 		select {
-		case s.wq <- putReq{name: name, payload: payload, upgrade: true}:
+		case s.wq <- putReq{name: name, payload: payload, upgrade: true, platformName: platformName, specKey: specKey}:
 		case <-s.done:
 		default:
 		}
@@ -657,7 +684,7 @@ func (s *Store) Store(platformName, specKey string, st platform.Stored) {
 		return
 	}
 	select {
-	case s.wq <- putReq{name: address(platformName, specKey), payload: data}:
+	case s.wq <- putReq{name: address(platformName, specKey), payload: data, platformName: platformName, specKey: specKey}:
 	case <-s.done:
 	}
 }
@@ -720,6 +747,10 @@ func (s *Store) write(r putReq) {
 		s.blobUpgrades.Add(1)
 	case r.payload != nil:
 		s.puts.Add(1)
+	}
+	if s.onWrite != nil && r.payload != nil {
+		// After the rename: the hook sees only blobs that actually exist.
+		s.onWrite(WriteEvent{Addr: r.name, Platform: r.platformName, SpecKey: r.specKey, Upgrade: r.upgrade})
 	}
 
 	s.mu.Lock()
@@ -900,4 +931,35 @@ func (s *Store) Stats() Stats {
 		st.HitRate = float64(st.Hits) / float64(total)
 	}
 	return st
+}
+
+// ScanBlobs walks the shard tree at dir offline (no open Store needed)
+// and calls fn with each readable blob's address and decoded identity.
+// It is the against-disk half of provenance verification: every blob
+// found here should appear in the chain. Unreadable or undecodable
+// blobs are reported to fn with an empty platform name so the caller
+// can flag them rather than silently skipping; fn returning an error
+// stops the walk.
+func ScanBlobs(dir string, fn func(addr, platformName, specKey string, version int) error) error {
+	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		addr := d.Name()[:len(d.Name())-len(".json")]
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return fn(addr, "", "", 0)
+		}
+		payload, _, ferr := decodeFrame(data)
+		if errors.Is(ferr, errNotFramed) {
+			payload = data
+		} else if ferr != nil {
+			return fn(addr, "", "", 0)
+		}
+		var b blob
+		if jerr := json.Unmarshal(payload, &b); jerr != nil {
+			return fn(addr, "", "", 0)
+		}
+		return fn(addr, b.Platform, b.SpecKey, b.Version)
+	})
 }

@@ -1,0 +1,11 @@
+// Package version holds the build identity both binaries report: the
+// -version flag, the /v1/stats version field, and the
+// dabench_build_info metric all read this one string, so a fleet can
+// correlate behavior with the exact build serving it.
+package version
+
+// Version identifies the dabench build. The default tracks the repo's
+// release line; real deployments pin the precise build at link time:
+//
+//	go build -ldflags "-X dabench/internal/version.Version=1.2.3+abc"
+var Version = "0.8.0"
