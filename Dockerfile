@@ -1,0 +1,27 @@
+# Build dabenchd (daemon) and dabench (CLI) into a small runtime image.
+#
+#   docker build -t dabench .
+#   docker run -p 8080:8080 -v dabench-data:/data dabench
+#
+# The compose file in this repo wires three of these into a cluster
+# fabric; see docker-compose.yml.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+ENV CGO_ENABLED=0
+RUN go build -trimpath -ldflags=-s -o /out/dabenchd ./cmd/dabenchd \
+ && go build -trimpath -ldflags=-s -o /out/dabench ./cmd/dabench
+
+# Alpine (not scratch) so healthchecks can use busybox wget and an
+# operator can shell in to run the bundled dabench CLI against /data.
+FROM alpine:3.20
+RUN adduser -D -u 10001 dabench && mkdir -p /data && chown dabench:dabench /data
+COPY --from=build /out/dabenchd /out/dabench /usr/local/bin/
+USER dabench
+VOLUME /data
+EXPOSE 8080
+HEALTHCHECK --interval=5s --timeout=2s --retries=12 \
+  CMD wget -q -O /dev/null http://127.0.0.1:8080/healthz || exit 1
+ENTRYPOINT ["dabenchd"]
+CMD ["-addr", ":8080", "-data-dir", "/data"]

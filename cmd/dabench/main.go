@@ -10,6 +10,7 @@
 //	dabench scenario list                        list the built-in scenario library
 //	dabench analyze [-csv] trace.jsonl           summarize a saved -trace record stream
 //	dabench provenance verify -data-dir DIR      verify the result-store provenance chain
+//	         [-peer URL -node-id NAME]           ...and cross-check it against a cluster peer's remembered tip
 //	dabench list                                 list platforms, models and experiment IDs
 //	dabench version                              print the build version
 //
@@ -23,9 +24,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -33,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"dabench/internal/cluster"
 	"dabench/internal/core"
 	"dabench/internal/experiments"
 	"dabench/internal/faults"
@@ -250,15 +254,20 @@ func mountStore(dataDir string, budget int64, inj *faults.Injector) (*store.Stor
 // live on as chain-only records.)
 func runProvenance(args []string) error {
 	if len(args) == 0 || args[0] != "verify" {
-		return errors.New("usage: dabench provenance verify -data-dir DIR")
+		return errors.New("usage: dabench provenance verify -data-dir DIR [-peer URL -node-id NAME]")
 	}
 	fs := flag.NewFlagSet("provenance verify", flag.ContinueOnError)
 	dataDir := fs.String("data-dir", "", "durable state directory whose chain and store to verify")
+	peerURL := fs.String("peer", "", "base URL of a cluster peer whose gossip-remembered view of this node anchors the check")
+	peerNodeID := fs.String("node-id", "", "this node's cluster name in the peer's view (required with -peer)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 	if *dataDir == "" {
 		return errors.New("provenance verify: -data-dir is required")
+	}
+	if (*peerURL == "") != (*peerNodeID == "") {
+		return errors.New("provenance verify: -peer and -node-id go together")
 	}
 	res, err := provenance.VerifyFile(filepath.Join(*dataDir, "provenance.log"))
 	if err != nil {
@@ -292,6 +301,55 @@ func runProvenance(args []string) error {
 		return fmt.Errorf("provenance verify FAILED: %d of %d blobs unaccounted for or mismatched", bad, blobs)
 	}
 	fmt.Printf("provenance OK: %d records, %d blobs verified, tip %s\n", res.Records, blobs, res.TipHash)
+	if *peerURL != "" {
+		return verifyPeerTip(*peerURL, *peerNodeID, res)
+	}
+	return nil
+}
+
+// verifyPeerTip cross-checks the locally-verified chain against a
+// cluster peer's memory of it. Gossip makes every peer remember the tip
+// hash this node last advertised; a tip commits to the node's entire
+// write history, so the remembered hash must be the current tip or one
+// of its ancestors. A chain that was rewritten or truncated after the
+// peer observed it cannot contain that hash — which is exactly the
+// attack a purely local verification cannot see (replace the whole
+// file, and every link still checks out).
+func verifyPeerTip(peerURL, nodeID string, res *provenance.VerifyResult) error {
+	u := strings.TrimRight(peerURL, "/") + "/v1/gossip"
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return fmt.Errorf("provenance verify: peer gossip: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("provenance verify: peer %s answered %s", u, resp.Status)
+	}
+	var gr cluster.GossipResponse
+	if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+		return fmt.Errorf("provenance verify: peer gossip: %w", err)
+	}
+	var view *cluster.PeerView
+	for i := range gr.Peers {
+		if gr.Peers[i].ID == nodeID {
+			view = &gr.Peers[i]
+			break
+		}
+	}
+	if view == nil {
+		return fmt.Errorf("provenance verify: peer at %s does not know a node %q (check -node-id against the fleet's -peers)", peerURL, nodeID)
+	}
+	if view.ChainTip == "" {
+		fmt.Printf("peer anchor: %s has not yet observed a chain tip for %s — nothing to cross-check\n", peerURL, nodeID)
+		return nil
+	}
+	if !res.Hashes[view.ChainTip] {
+		return fmt.Errorf("provenance verify FAILED: peer %s remembers tip %.12s (at %d records), which is not in this chain — chain rewritten or truncated since the peer observed it",
+			peerURL, view.ChainTip, view.ChainRecords)
+	}
+	fmt.Printf("peer anchor OK: %s remembers tip %.12s (at %d records), present in this chain\n",
+		peerURL, view.ChainTip, view.ChainRecords)
 	return nil
 }
 

@@ -12,7 +12,20 @@
 //	         [-job-workers N] [-max-job-points 1048576]
 //	         [-chunk-retries 3] [-chunk-retry-backoff 50ms]
 //	         [-allow-faults -fault-spec SPEC]
+//	         [-node-id NAME -peers id=url,... [-advertise URL]]
+//	         [-gossip-interval 1s] [-peer-timeout 500ms]
 //	         [-stage-log FILE] [-version]
+//
+// Clustering: -peers (with -node-id and -data-dir) joins the daemon to
+// a static fleet. Nodes poll each other's /v1/gossip for health, store
+// gauges and provenance chain tips; a local store miss consults a
+// consistent-hash ring and fetches the framed blob from a peer (GET
+// /v1/blobs/{addr}) before falling back to simulation, adopting what it
+// fetched; async job chunks shard across live peers (POST /v1/chunks)
+// with local reassignment when an owner fails. Every peer interaction
+// is breaker-guarded and timeout-bounded — a dead peer degrades the
+// fleet to single-node behavior, never breaks it. See DESIGN.md
+// "Cluster fabric".
 //
 // Observability: GET /metrics renders every internal counter plus
 // per-request stage and per-platform pipeline latency histograms in
@@ -74,6 +87,7 @@ import (
 	"syscall"
 	"time"
 
+	"dabench/internal/cluster"
 	"dabench/internal/experiments"
 	"dabench/internal/faults"
 	"dabench/internal/provenance"
@@ -108,6 +122,11 @@ func run(args []string) error {
 	faultSpec := fs.String("fault-spec", "", "fault-injection spec: inline JSON or a file path (requires -allow-faults)")
 	allowFaults := fs.Bool("allow-faults", false, "acknowledge that -fault-spec deliberately injects failures")
 	stageLog := fs.String("stage-log", "", "append per-request stage timings as CSV rows to this file")
+	nodeID := fs.String("node-id", "", "this node's cluster name (required with -peers)")
+	peers := fs.String("peers", "", "static cluster peers as id=url,id=url (requires -node-id and -data-dir)")
+	advertise := fs.String("advertise", "", "base URL peers reach this node at (advertised in gossip)")
+	gossipInterval := fs.Duration("gossip-interval", time.Second, "peer health-poll period")
+	peerTimeout := fs.Duration("peer-timeout", 500*time.Millisecond, "per-peer gossip/blob-fetch deadline")
 	showVersion := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +159,9 @@ func run(args []string) error {
 	if *chunkRetries < 0 {
 		return fmt.Errorf("-chunk-retries must be >= 0, got %d", *chunkRetries)
 	}
+	if *peers == "" && *nodeID != "" {
+		return errors.New("-node-id without -peers names a cluster of one; drop it or add -peers")
+	}
 
 	// The injector deliberately breaks things; a daemon must never pick
 	// one up by accident (a stale wrapper script, a copy-pasted unit
@@ -156,6 +178,30 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "dabenchd: FAULT INJECTION ACTIVE (%d rules, seed %d)\n",
 			len(inj.Stats().Rules), inj.Stats().Seed)
+	}
+
+	// The cluster fabric validates before any state opens: a typo in
+	// -peers must fail the boot, not strand a half-configured node in the
+	// fleet.
+	var fab *cluster.Fabric
+	if *peers != "" {
+		if *nodeID == "" {
+			return errors.New("-peers requires -node-id (every fleet member needs a unique ring name)")
+		}
+		if *dataDir == "" {
+			return errors.New("-peers requires -data-dir (peer-fetched blobs adopt into the durable store)")
+		}
+		pcs, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		if fab, err = cluster.New(cluster.Config{
+			NodeID: *nodeID, SelfURL: *advertise, Peers: pcs,
+			GossipInterval: *gossipInterval, FetchTimeout: *peerTimeout,
+			Injector: inj,
+		}); err != nil {
+			return err
+		}
 	}
 
 	sweep.SetDefaultWorkers(*parallel)
@@ -202,7 +248,14 @@ func run(args []string) error {
 			return err
 		}
 		defer st.Close() // flush the write-behind queue on the way out
-		experiments.SetResultStore(st)
+		if fab != nil {
+			// With a fabric, the memo tiers miss into the peer-fetch wrapper
+			// instead of the bare store: a spec any fleet member computed is
+			// warm here after one bounded peer fetch.
+			experiments.SetResultStore(fab.WrapStore(st))
+		} else {
+			experiments.SetResultStore(st)
+		}
 		defer experiments.SetResultStore(nil)
 		cfg.Store = st
 		cfg.Provenance = prov
@@ -210,11 +263,18 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "dabenchd: durable state in %s (%d store entries warm, budget %d bytes, provenance chain at %d records)\n",
 			*dataDir, st.Stats().Entries, *storeBudget, prov.Stats().Records)
 	}
+	cfg.Cluster = fab
 	h, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer h.Close()
+	if fab != nil {
+		fab.Start()
+		defer fab.Close() // before the store flush: no gossip against closing state
+		fmt.Fprintf(os.Stderr, "dabenchd: cluster fabric up as %s (%d peers, gossip every %s)\n",
+			*nodeID, len(fab.Stats().Peers), *gossipInterval)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

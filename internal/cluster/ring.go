@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// defaultReplicas is the vnode count per node. 64 points per node keeps
+// the ring's load spread within a few percent of even for the small
+// static memberships this fabric targets, at ~1.5KB of ring per node.
+const defaultReplicas = 64
+
+// ring is a consistent-hash ring over node IDs. Blob addresses (and job
+// chunk keys) hash onto the same 64-bit circle the nodes' vnodes
+// occupy; a key's owners are the distinct nodes met walking clockwise
+// from the key's point. Membership is static (construction-time), so
+// the ring is immutable and lock-free to read.
+type ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int         // distinct node count
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// hash64 maps a key onto the ring's circle: the first 8 bytes of its
+// SHA-256, matching the entropy of the addresses being placed.
+func hash64(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring over nodes with replicas vnodes each
+// (defaultReplicas when <= 0). Duplicate node IDs collapse.
+func newRing(nodes []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	seen := map[string]bool{}
+	r := &ring{}
+	for _, n := range nodes {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash64(n + "#" + strconv.Itoa(i)), n})
+		}
+	}
+	r.nodes = len(seen)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// owners returns every distinct node in clockwise preference order from
+// key's ring position: owners(key)[0] is the key's primary owner, the
+// rest the fallback order a fetch fans out over.
+func (r *ring) owners(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, r.nodes)
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(out) < r.nodes; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

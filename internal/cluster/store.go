@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+
+	"dabench/internal/platform"
+	"dabench/internal/store"
+)
+
+// FabricStore wraps a local *store.Store with the peer-fetch tier: the
+// network generalization of the store's local sibling-blob adoption. A
+// local miss consults the ring, fetches the framed blob from a peer,
+// verifies and adopts it into the local store (write-behind, budget-
+// enforced — the adoption is a put like any other), and answers from
+// the adopted bytes. Writes delegate untouched: every node persists
+// only what it computed or adopted, and replication happens by demand
+// (heat spreads to where the requests are), not by push.
+//
+// It implements platform.RawResponseStore, so it mounts wherever the
+// bare store does: under the memo tiers via experiments.SetResultStore
+// and as the server's raw byte lane.
+type FabricStore struct {
+	local  *store.Store
+	fabric *Fabric
+}
+
+var _ platform.RawResponseStore = (*FabricStore)(nil)
+
+// WrapStore mounts the fabric's peer-fetch tier over local. A nil
+// fabric returns a wrapper that is exactly the local store.
+func (f *Fabric) WrapStore(local *store.Store) *FabricStore {
+	return &FabricStore{local: local, fabric: f}
+}
+
+// fetchAdopt is the shared miss path: fetch the frame for (platform,
+// specKey) from a peer and adopt it locally. Returns the decoded
+// outcome, the frame's response section (nil when absent), and whether
+// anything was adopted.
+func (fs *FabricStore) fetchAdopt(platformName, specKey string) (platform.Stored, []byte, bool) {
+	if fs.fabric == nil {
+		return platform.Stored{}, nil, false
+	}
+	addr := store.Address(platformName, specKey)
+	data, _, ok := fs.fabric.FetchFrame(context.Background(), addr)
+	if !ok {
+		return platform.Stored{}, nil, false
+	}
+	st, resp, err := fs.local.AdoptFrame(addr, data)
+	if err != nil {
+		// A frame that does not verify is counted like a transport error:
+		// the peer sent bytes we cannot trust.
+		fs.fabric.fetchErrors.Add(1)
+		return platform.Stored{}, nil, false
+	}
+	fs.fabric.noteAdoption()
+	return st, resp, true
+}
+
+// Load implements platform.ResultStore: local store first, then the
+// peer tier.
+func (fs *FabricStore) Load(platformName, specKey string) (platform.Stored, bool) {
+	if st, ok := fs.local.Load(platformName, specKey); ok {
+		return st, true
+	}
+	st, _, ok := fs.fetchAdopt(platformName, specKey)
+	return st, ok
+}
+
+// Store implements platform.ResultStore, delegating to the local store.
+func (fs *FabricStore) Store(platformName, specKey string, st platform.Stored) {
+	fs.local.Store(platformName, specKey, st)
+}
+
+// LoadRaw implements the byte-level warm lane: local frame first, then
+// a peer fetch whose adopted frame may carry the pre-marshaled response
+// section — in which case the fetching node serves the exact bytes the
+// computing node served, zero re-render.
+func (fs *FabricStore) LoadRaw(platformName, specKey string) ([]byte, bool) {
+	if raw, ok := fs.local.LoadRaw(platformName, specKey); ok {
+		return raw, true
+	}
+	_, resp, ok := fs.fetchAdopt(platformName, specKey)
+	if !ok || len(resp) == 0 {
+		return nil, false
+	}
+	return resp, true
+}
+
+// StoreResponse delegates to the local store.
+func (fs *FabricStore) StoreResponse(platformName, specKey string, resp []byte) {
+	fs.local.StoreResponse(platformName, specKey, resp)
+}

@@ -54,12 +54,13 @@ const (
 	OpJournalSync   Op = "journal.sync"   // job-journal fsync
 	OpCompile       Op = "compile"        // one platform compile
 	OpChunkRun      Op = "chunk.run"      // one async-job chunk execution
+	OpPeerFetch     Op = "peer.fetch"     // one cluster peer blob/chunk HTTP call
 )
 
 var validOps = map[Op]bool{
 	OpStoreRead: true, OpStoreWrite: true, OpStoreRemove: true,
 	OpJournalAppend: true, OpJournalSync: true,
-	OpCompile: true, OpChunkRun: true,
+	OpCompile: true, OpChunkRun: true, OpPeerFetch: true,
 }
 
 // Kind is the failure mode a fired rule produces.
@@ -195,7 +196,7 @@ func New(spec Spec) (*Injector, error) {
 	in := &Injector{rng: rand.New(rand.NewSource(seed)), seed: seed}
 	for i, r := range spec.Rules {
 		if !validOps[r.Op] {
-			return nil, fmt.Errorf("faults: rule %d: unknown op %q (valid: store.read, store.write, store.remove, journal.append, journal.sync, compile, chunk.run)", i, r.Op)
+			return nil, fmt.Errorf("faults: rule %d: unknown op %q (valid: store.read, store.write, store.remove, journal.append, journal.sync, compile, chunk.run, peer.fetch)", i, r.Op)
 		}
 		r.Kind = canonicalKind(r.Kind)
 		if !validKinds[r.Kind] {

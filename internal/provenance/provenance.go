@@ -266,6 +266,11 @@ type VerifyResult struct {
 	// ByAddr indexes the chain for the against-store half of a full
 	// verification (first record per address wins, matching Log).
 	ByAddr map[string]Record
+	// Hashes holds every record hash in the chain (plus the genesis
+	// anchor): the membership set a peer-remembered tip is checked
+	// against — a tip a peer observed must be this chain's current tip
+	// or one of its ancestors, or the chain was rewritten.
+	Hashes map[string]bool
 }
 
 // VerifyFile walks the chain at path without opening it for writing:
@@ -276,12 +281,14 @@ type VerifyResult struct {
 func VerifyFile(path string) (*VerifyResult, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return &VerifyResult{TipHash: genesisHash, ByAddr: map[string]Record{}}, nil
+		return &VerifyResult{TipHash: genesisHash, ByAddr: map[string]Record{},
+			Hashes: map[string]bool{genesisHash: true}}, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("provenance: %w", err)
 	}
-	res := &VerifyResult{TipHash: genesisHash, ByAddr: map[string]Record{}}
+	res := &VerifyResult{TipHash: genesisHash, ByAddr: map[string]Record{},
+		Hashes: map[string]bool{genesisHash: true}}
 	for len(data) > 0 {
 		var line []byte
 		if i := bytes.IndexByte(data, '\n'); i >= 0 {
@@ -301,6 +308,7 @@ func VerifyFile(path string) (*VerifyResult, error) {
 		}
 		res.Records = r.Seq
 		res.TipHash = r.Hash
+		res.Hashes[r.Hash] = true
 		if _, ok := res.ByAddr[r.Addr]; !ok {
 			res.ByAddr[r.Addr] = r
 		}

@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -295,10 +297,28 @@ func (s *Server) runJob(ctx context.Context, raw json.RawMessage, progress func(
 		return nil, fmt.Errorf("job of %d points exceeds the job cap of %d", n, s.cfg.MaxJobPoints)
 	}
 
+	// With a fabric attached, chunks shard across the fleet: the job key
+	// (a digest of the raw body — journal-stable, so a replayed job
+	// shards identically) places the job on the ring, and the rotation in
+	// ChunkNodes spreads consecutive chunks across its owners. The raw
+	// body travels with each dispatch so the remote node re-derives the
+	// same axes this node validated.
+	var jobKey string
+	if s.cluster() != nil {
+		sum := sha256.Sum256(raw)
+		jobKey = hex.EncodeToString(sum[:])
+	}
+
 	resp := SweepResponse{Platform: a.p.Name(), Points: n}
 	resp.Results = make([]RunResult, 0, n)
 	for lo := 0; lo < n; lo += jobChunk {
 		hi := min(lo+jobChunk, n)
+		if rr, ok := s.runRemoteChunk(ctx, jobKey, raw, lo/jobChunk, lo, hi); ok {
+			resp.Results = append(resp.Results, rr.Results...)
+			resp.Failed += rr.Failed
+			progress(hi, resp.Failed)
+			continue
+		}
 		outs, attempts, err := s.runChunk(ctx, a, lo, hi)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -342,4 +362,54 @@ func (s *Server) runJob(ctx context.Context, raw json.RawMessage, progress func(
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// runRemoteChunk offers chunk [lo, hi) to its ring-assigned owner when
+// that owner is a live remote peer. Only the rotation's first choice is
+// consulted: when it is this node, the chunk is local by assignment (no
+// reassignment counted); when it is a dead or breaker-open peer, or the
+// dispatch fails, the chunk is reassigned to local execution — the same
+// recompute fallback every other peer interaction has. The peer's
+// ChunkResponse carries fully-labeled results produced by the exact
+// code path the local chunk loop runs, so sharded job results stay
+// byte-identical to single-node ones.
+func (s *Server) runRemoteChunk(ctx context.Context, jobKey string, raw json.RawMessage, chunk, lo, hi int) (ChunkResponse, bool) {
+	f := s.cluster()
+	if f == nil {
+		return ChunkResponse{}, false
+	}
+	nodes := f.ChunkNodes(jobKey, chunk)
+	if len(nodes) == 0 || nodes[0] == f.NodeID() {
+		return ChunkResponse{}, false
+	}
+	owner := nodes[0]
+	if !f.ChunkEligible(owner) {
+		f.NoteReassigned()
+		return ChunkResponse{}, false
+	}
+	// Assemble the wire body around the raw journaled bytes — no
+	// re-marshal of the request, so the remote decodes exactly what this
+	// node validated.
+	body := make([]byte, 0, len(raw)+64)
+	body = append(body, `{"request":`...)
+	body = append(body, raw...)
+	body = append(body, `,"start":`...)
+	body = strconv.AppendInt(body, int64(lo), 10)
+	body = append(body, `,"end":`...)
+	body = strconv.AppendInt(body, int64(hi), 10)
+	body = append(body, '}')
+	data, err := f.ExecuteChunk(ctx, owner, body)
+	if err != nil {
+		f.NoteReassigned()
+		return ChunkResponse{}, false
+	}
+	var rr ChunkResponse
+	if err := json.Unmarshal(data, &rr); err != nil || len(rr.Results) != hi-lo {
+		// A peer answer that does not decode to exactly this range is
+		// discarded, not patched: recomputing locally is cheap and always
+		// right.
+		f.NoteReassigned()
+		return ChunkResponse{}, false
+	}
+	return rr, true
 }

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"dabench/internal/cachestats"
+	"dabench/internal/cluster"
 	"dabench/internal/experiments"
 	"dabench/internal/faults"
 	"dabench/internal/jobs"
@@ -103,6 +104,12 @@ type Config struct {
 	// /v1/provenance/{addr} answers from (and /metrics gauges). Nil —
 	// no data dir — disables the endpoint.
 	Provenance *provenance.Log
+
+	// Cluster is the multi-node result fabric (nil = single node). With
+	// a Store mounted, the raw serve lane is routed through the fabric's
+	// peer-fetch wrapper so local store misses consult the ring before
+	// simulating.
+	Cluster *cluster.Fabric
 	// StageLogPath, when set, appends one CSV row of per-stage timings
 	// for every served request (the flight-recorder complement to the
 	// /metrics histograms).
@@ -163,6 +170,9 @@ type Stats struct {
 	ChunkRetries      int64         `json:"chunk_retries,omitempty"`
 	ChunksQuarantined int64         `json:"chunks_quarantined,omitempty"`
 	Faults            *faults.Stats `json:"faults,omitempty"`
+	// Cluster is the fabric's snapshot (absent on a single node):
+	// peer liveness views, peer-fetch counters, chunk sharding counters.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // Server is the dabenchd HTTP handler. Create with New; the zero value
@@ -193,6 +203,14 @@ type Server struct {
 	pipeHist  map[string]*telemetry.Histogram
 	stageLog  *stageLog
 
+	// fabric is the attached cluster fabric (nil single-node); an
+	// atomic pointer so tests can attach one after their httptest
+	// servers exist (peer URLs are unknowable before Listen).
+	// fabricRaw is the fabric's peer-fetch wrapper over the store,
+	// shadowing raw when set — atomic for the same late-attach reason.
+	fabric    atomic.Pointer[cluster.Fabric]
+	fabricRaw atomic.Pointer[cluster.FabricStore]
+
 	inFlight          atomic.Int64
 	served            atomic.Int64
 	rejected          atomic.Int64
@@ -221,6 +239,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Store != nil {
 		s.raw = cfg.Store
+	}
+	if cfg.Cluster != nil {
+		s.SetCluster(cfg.Cluster)
 	}
 	s.initMetrics()
 	if cfg.StageLogPath != "" {
@@ -257,6 +278,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/provenance/{addr}", s.handleProvenance)
+	// Cluster fabric endpoints (see cluster.go); registered even on a
+	// single node so a fleet can form around a node that booted first.
+	s.mux.HandleFunc("GET /v1/gossip", s.handleGossip)
+	s.mux.HandleFunc("GET /v1/blobs/{addr}", s.handleBlob)
+	s.mux.HandleFunc("POST /v1/chunks", s.handleChunk)
 	// The warm-path endpoints manage admission inline: their ETag/304
 	// and response-byte fast lanes answer repeat requests before ever
 	// claiming a simulation slot, so only the compute path is gated.
@@ -409,6 +435,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	resp.Components["jobs"] = jobsHealth
 
+	// The cluster component only exists with a fabric attached; a
+	// single-node /healthz body is unchanged. Dead peers degrade this
+	// node's health honestly — it still serves everything, just without
+	// the fabric's warm-anywhere guarantee.
+	if cs := s.cluster().Stats(); cs != nil {
+		clusterHealth := componentHealth{Status: "ok",
+			Detail: strconv.Itoa(cs.PeersAlive) + "/" + strconv.Itoa(cs.RingNodes-1) + " peers alive"}
+		if cs.PeersDead > 0 {
+			clusterHealth.Status = "degraded"
+			clusterHealth.Detail = strconv.Itoa(cs.PeersDead) + " peer(s) unreachable; their blobs fall back to simulation"
+		}
+		resp.Components["cluster"] = clusterHealth
+	}
+
 	for _, c := range resp.Components {
 		if c.Status == "degraded" {
 			resp.Status = "degraded"
@@ -448,6 +488,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st.ChunkRetries = s.chunkRetries.Load()
 	st.ChunksQuarantined = s.chunksQuarantined.Load()
 	st.Faults = s.cfg.Injector.Stats()
+	st.Cluster = s.cluster().Stats()
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -545,9 +586,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	// L2 raw: the framed blob's pre-marshaled response section —
 	// servable bytes with zero JSON work, refilling L0 on the way out.
-	if s.raw != nil {
+	// With a fabric attached this tier reaches through peer fetch, so a
+	// spec any fleet member computed serves warm here.
+	if rs := s.rawStore(); rs != nil {
 		t := time.Now()
-		raw, ok := s.raw.LoadRaw(p.Name(), key)
+		raw, ok := rs.LoadRaw(p.Name(), key)
 		st.observe(stgStoreRead, time.Since(t))
 		if ok {
 			st.observe(stgAdmission, 0)
@@ -629,11 +672,11 @@ func (s *Server) finishRun(w http.ResponseWriter, platformName, etag string, res
 	body := append([]byte(nil), buf.Bytes()...)
 	putBuf(buf)
 	st.observe(stgRender, time.Since(t))
-	if s.raw != nil {
+	if rs := s.rawStore(); rs != nil {
 		// The enqueue, not the disk write — the store is write-behind,
 		// so this is the full store cost the request path pays.
 		t = time.Now()
-		s.raw.StoreResponse(platformName, res.SpecKey, body)
+		rs.StoreResponse(platformName, res.SpecKey, body)
 		st.observe(stgStoreWrite, time.Since(t))
 	}
 	s.finishStages(w, st)

@@ -119,16 +119,18 @@ type indexEntry struct {
 // syscall cost.
 const touchDebounce = time.Minute
 
-// putReq is one write-behind unit. Exactly one of payload, resp or
-// flush is set: a payload write persists a (possibly fresh) JSON blob
-// framed, carrying forward any response bytes already on disk; a resp
-// write merges pre-marshaled response bytes into the existing frame
-// (dropped if the blob is gone — it is recomputable); a flush is the
-// Snapshot barrier.
+// putReq is one write-behind unit. Exactly one of payload, resp,
+// frame or flush is set: a payload write persists a (possibly fresh)
+// JSON blob framed, carrying forward any response bytes already on
+// disk; a resp write merges pre-marshaled response bytes into the
+// existing frame (dropped if the blob is gone — it is recomputable); a
+// frame write persists an already-assembled frame verbatim (a peer-
+// adopted blob); a flush is the Snapshot barrier.
 type putReq struct {
 	name    string
 	payload []byte
 	resp    []byte
+	frame   []byte        // pre-built frame adopted whole (AdoptFrame)
 	upgrade bool          // payload write triggered by a v1 blob read
 	flush   chan struct{} // non-nil: flush barrier, no write
 	// platformName and specKey ride along on payload writes so the
@@ -329,6 +331,106 @@ func address(platformName, specKey string) string {
 
 func (s *Store) path(name string) string {
 	return filepath.Join(s.dir, name[:2], name+".json")
+}
+
+// ValidAddr reports whether addr is a well-formed blob address: exactly
+// 64 lowercase hex characters, the only strings address() can produce.
+// Every path that builds a file name from an externally supplied
+// address (the cluster blob export, peer adoption) must check this
+// first — path() shards on addr[:2], so anything else is at best a
+// panic and at worst a traversal.
+func ValidAddr(addr string) bool {
+	if len(addr) != 64 {
+		return false
+	}
+	for i := 0; i < len(addr); i++ {
+		c := addr[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadFrame returns the raw on-disk bytes of the blob at addr — the
+// exact frame (or v1 bare JSON) writeOnce persisted, suitable for
+// byte-level export to a peer. The read goes through the same breaker
+// and retry policy as Load; a malformed address, a missing blob, or
+// degraded I/O is a miss. The bytes are not CRC-verified here: the
+// consumer (AdoptFrame on the fetching node) verifies before trusting.
+func (s *Store) ReadFrame(addr string) ([]byte, bool) {
+	if !ValidAddr(addr) {
+		return nil, false
+	}
+	s.mu.Lock()
+	if e, ok := s.index[addr]; ok {
+		s.clock++
+		e.used = s.clock
+	}
+	s.mu.Unlock()
+	if !s.readBr.allow() {
+		s.skippedReads.Add(1)
+		return nil, false
+	}
+	data, err := s.readBlob(s.path(addr))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.readBr.success()
+		} else {
+			s.readBr.failure()
+		}
+		return nil, false
+	}
+	s.readBr.success()
+	return data, true
+}
+
+// AdoptFrame verifies a peer-exported blob and adopts it into the
+// local store, write-behind and budget-enforced like any other put.
+// The frame must decode (or be a v1 bare-JSON blob), its payload must
+// carry the current pipeline version, and the payload's identity must
+// re-derive exactly addr — a peer cannot plant bytes under an address
+// they do not hash to. On success it returns the decoded outcome plus
+// the frame's pre-marshaled response section (nil when absent) so the
+// fetching request can be answered from what was just adopted.
+func (s *Store) AdoptFrame(addr string, data []byte) (platform.Stored, []byte, error) {
+	if !ValidAddr(addr) {
+		return platform.Stored{}, nil, fmt.Errorf("store: adopt %q: malformed blob address", addr)
+	}
+	payload, resp, ferr := decodeFrame(data)
+	frame := data
+	if errors.Is(ferr, errNotFramed) {
+		// A v1 bare-JSON export: adopt it framed so this node never
+		// re-pays the upgrade read.
+		payload, resp = data, nil
+		frame = encodeFrame(payload, nil)
+	} else if ferr != nil {
+		return platform.Stored{}, nil, fmt.Errorf("store: adopt %.12s: %w", addr, ferr)
+	}
+	var b blob
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return platform.Stored{}, nil, fmt.Errorf("store: adopt %.12s: payload does not decode: %w", addr, err)
+	}
+	if b.Version != PipelineVersion {
+		return platform.Stored{}, nil, fmt.Errorf("store: adopt %.12s: pipeline version %d (want %d)", addr, b.Version, PipelineVersion)
+	}
+	if b.Compile == nil && !b.Failed {
+		return platform.Stored{}, nil, fmt.Errorf("store: adopt %.12s: payload carries no outcome", addr)
+	}
+	if address(b.Platform, b.SpecKey) != addr {
+		return platform.Stored{}, nil, fmt.Errorf("store: adopt %.12s: payload identity (%s, %.12s) does not hash to the address", addr, b.Platform, b.SpecKey)
+	}
+	select {
+	case s.wq <- putReq{name: addr, frame: frame, platformName: b.Platform, specKey: b.SpecKey}:
+	case <-s.done:
+	}
+	if b.Run != nil {
+		b.Run.Compile = b.Compile
+	}
+	return platform.Stored{
+		Compile: b.Compile, Run: b.Run,
+		Failed: b.Failed, FailReason: b.FailReason,
+	}, resp, nil
 }
 
 // Store is the byte-level tier the server's warm path reads through.
@@ -722,9 +824,12 @@ func (s *Store) write(r putReq) {
 		s.skippedWrites.Add(1)
 		return
 	}
-	data, ok := s.frameForWrite(r)
-	if !ok {
-		return
+	data := r.frame
+	if data == nil {
+		var ok bool
+		if data, ok = s.frameForWrite(r); !ok {
+			return
+		}
 	}
 	var err error
 	for attempt := 0; attempt < s.retryAttempts; attempt++ {
@@ -745,10 +850,10 @@ func (s *Store) write(r putReq) {
 	switch {
 	case r.upgrade:
 		s.blobUpgrades.Add(1)
-	case r.payload != nil:
+	case r.payload != nil || r.frame != nil:
 		s.puts.Add(1)
 	}
-	if s.onWrite != nil && r.payload != nil {
+	if s.onWrite != nil && (r.payload != nil || r.frame != nil) {
 		// After the rename: the hook sees only blobs that actually exist.
 		s.onWrite(WriteEvent{Addr: r.name, Platform: r.platformName, SpecKey: r.specKey, Upgrade: r.upgrade})
 	}
