@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// addrGatePkgs are the packages that turn blob addresses into file
+// paths. store.path() shards on addr[:2], so a malformed address is
+// at best a panic and at worst a traversal — which is why PR 9 put
+// store.ValidAddr (64 lowercase hex, nothing else) in front of every
+// externally supplied address.
+var addrGatePkgs = []string{
+	"dabench/internal/store",
+	"dabench/internal/cluster",
+}
+
+// AddrGate enforces that gate: in store and cluster, a string
+// parameter whose name contains "addr" must pass through
+// store.ValidAddr before it (or anything derived from it) reaches a
+// filesystem sink — filepath.Join, the os file calls, or a
+// same-package helper that itself funnels the value to such a sink.
+//
+// The flow tracking is intraprocedural taint over declared functions:
+// an addr parameter taints simple assignments it appears in, and a
+// sink hit counts when any argument expression contains a tainted
+// identifier. Same-package calls are followed one summary deep via a
+// fixpoint over "which string parameters of each function reach a
+// sink unguarded", so (*Store).path — the Join helper every blob
+// touch goes through — is a sink at its callers without being flagged
+// itself (its internal callers pass self-derived addresses).
+// Dominance is lexical: a ValidAddr call on the parameter anywhere
+// earlier in the function body guards every later use.
+var AddrGate = &Analyzer{
+	Name: "addrgate",
+	Doc: "in store and cluster, an addr-named string parameter must " +
+		"be checked with store.ValidAddr before it reaches " +
+		"filepath.Join or os file calls: path() shards on addr[:2], " +
+		"so an unvalidated address is a panic or a traversal",
+	Run: runAddrGate,
+}
+
+const storePkg = "dabench/internal/store"
+
+func runAddrGate(pass *Pass) {
+	gated := false
+	for _, p := range addrGatePkgs {
+		if pathMatches(pass.PkgPath, p) {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return
+	}
+
+	// Collect every declared function with its string params.
+	type funcNode struct {
+		decl *ast.FuncDecl
+		obj  *types.Func
+		// unguarded[i] = string param i reaches a sink with no
+		// dominating ValidAddr (the fixpoint's summary).
+		unguarded map[int]bool
+	}
+	var fns []*funcNode
+	byObj := map[*types.Func]*funcNode{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &funcNode{decl: fd, obj: obj, unguarded: map[int]bool{}}
+			fns = append(fns, n)
+			byObj[obj] = n
+		}
+	}
+
+	// calleeSummary reports whether a call's argument position lands on
+	// an unguarded-sink parameter of a same-package function.
+	calleeSummary := func(call *ast.CallExpr, argIdx int) bool {
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return false
+		}
+		n, ok := byObj[fn]
+		if !ok {
+			return false
+		}
+		return n.unguarded[argIdx]
+	}
+
+	// Fixpoint: summaries feed callers until stable. Package call
+	// graphs here are shallow (path() is depth 1), so this converges in
+	// a couple of rounds; the iteration cap is a cycle backstop.
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, n := range fns {
+			params := stringParams(pass.Info, n.decl)
+			for idx, p := range params {
+				if n.unguarded[idx] {
+					continue
+				}
+				if sinkPos := paramReachesSink(pass, n.decl, p, calleeSummary); sinkPos.IsValid() {
+					n.unguarded[idx] = true
+					_ = sinkPos
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Report: only parameters whose *name* marks them as addresses.
+	// Internal plumbing (path(name string)) stays silent as long as
+	// every addr-named entry point guards before reaching it.
+	for _, n := range fns {
+		params := stringParams(pass.Info, n.decl)
+		for idx, p := range params {
+			if !n.unguarded[idx] || !isAddrName(p.Name()) {
+				continue
+			}
+			sinkPos := paramReachesSink(pass, n.decl, p, calleeSummary)
+			pass.Reportf(sinkPos,
+				"address parameter %q of %s reaches a filesystem path with no dominating store.ValidAddr check: validate before deriving paths (64-hex gate ahead of any path handling)",
+				p.Name(), n.decl.Name.Name)
+		}
+	}
+}
+
+// isAddrName reports whether a parameter name marks an address value.
+func isAddrName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "addr")
+}
+
+// stringParams returns the *types.Var for each parameter of fd whose
+// type is string, keyed by its position among ALL parameters (so call
+// argument indexes line up).
+func stringParams(info *types.Info, fd *ast.FuncDecl) map[int]*types.Var {
+	out := map[int]*types.Var{}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				if basic, ok := v.Type().Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+					out[idx] = v
+				}
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	return out
+}
+
+// paramReachesSink walks fd's body in lexical order tracking the
+// taint set seeded by param, and returns the position of the first
+// sink an unguarded tainted value reaches (NoPos when none, or when a
+// ValidAddr guard dominates every sink).
+func paramReachesSink(pass *Pass, fd *ast.FuncDecl, param *types.Var, calleeSummary func(*ast.CallExpr, int) bool) token.Pos {
+	tainted := map[types.Object]bool{param: true}
+	guarded := false
+	var sinkAt token.Pos
+
+	// exprTainted: does e mention a tainted object?
+	exprTainted := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && tainted[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sinkAt.IsValid() {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are out of scope for the lexical rule
+		case *ast.AssignStmt:
+			// Taint propagation: LHS vars fed by tainted RHS exprs.
+			for i, lhs := range node.Lhs {
+				if i >= len(node.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil && exprTainted(node.Rhs[i]) {
+					tainted[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if guarded {
+				return true
+			}
+			// A ValidAddr call on a tainted value guards all later uses.
+			if isValidAddrCall(pass, node) && len(node.Args) == 1 && exprTainted(node.Args[0]) {
+				guarded = true
+				return true
+			}
+			for i, arg := range node.Args {
+				if !exprTainted(arg) {
+					continue
+				}
+				if isDirectSink(pass.Info, node) || calleeSummary(node, i) {
+					sinkAt = node.Pos()
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if guarded {
+		return token.NoPos
+	}
+	return sinkAt
+}
+
+// isValidAddrCall recognizes store.ValidAddr (or a same-package
+// ValidAddr when analyzing the store itself).
+func isValidAddrCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != "ValidAddr" {
+		return false
+	}
+	path := funcPkgPath(fn)
+	return pathMatches(path, storePkg) || path == pass.PkgPath
+}
+
+// isDirectSink recognizes filepath.Join and the os file calls.
+func isDirectSink(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	switch funcPkgPath(fn) {
+	case "path/filepath":
+		return fn.Name() == "Join"
+	case "os":
+		return osIOFuncs[fn.Name()]
+	}
+	return false
+}

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// loader.go is the standalone driver: `dalint ./...` without go vet.
+// It shells out to `go list -export -deps -test -json` once, so every
+// dependency's export data comes from the build cache, then
+// type-checks each target package from source and runs the suite.
+// CI's lint job goes through `go vet -vettool` (unitchecker.go)
+// instead — this path is for developers and for the -dumporder
+// manifest helper.
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+}
+
+// A CheckedPackage is one parsed, type-checked target package ready
+// for analysis.
+type CheckedPackage struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	PkgPath string // as listed, variant decoration included
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// LoadPackages parses and type-checks the packages matching patterns
+// (go list syntax), including test variants, using dependency export
+// data from the build cache.
+func LoadPackages(patterns []string) ([]*CheckedPackage, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	var out []*CheckedPackage
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || p.Name == "main" && p.ForTest != "" {
+			// Test-binary main stubs ("pkg.test") carry no project code.
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("dalint: %s uses cgo, which the source loader cannot check", p.ImportPath)
+		}
+		cp, err := loadListedPackage(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		if cp != nil {
+			out = append(out, cp)
+		}
+	}
+	return out, nil
+}
+
+// RunPatterns lints the packages matching patterns with the given
+// analyzers, returning all surviving diagnostics. Diagnostics are
+// deduplicated across the plain and test-variant builds of the same
+// package.
+func RunPatterns(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loaded, err := LoadPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, cp := range loaded {
+		for _, d := range CheckPackage(cp.Fset, cp.Files, cp.PkgPath, cp.Pkg, cp.Info, analyzers) {
+			key := d.String()
+			if !seen[key] {
+				seen[key] = true
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags, nil
+}
+
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("dalint: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPackage
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("dalint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// loadListedPackage parses and type-checks one target package using
+// dependency export data.
+func loadListedPackage(p *listPackage, exports map[string]string) (*CheckedPackage, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("dalint: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	imp := newExportImporter(fset, p.ImportMap, exports)
+	pkg, info, err := Typecheck(fset, files, CanonicalPkgPath(p.ImportPath), imp)
+	if err != nil {
+		return nil, fmt.Errorf("dalint: typechecking %s: %v", p.ImportPath, err)
+	}
+	return &CheckedPackage{Fset: fset, Files: files, PkgPath: p.ImportPath, Pkg: pkg, Info: info}, nil
+}
+
+// DumpOrder computes the current wire field order of every manifest
+// key (or, with keys given, exactly those "pkgpath.Type" keys) across
+// the packages matching patterns — the helper that regenerates
+// statsorder_manifest.json entries when a field is legitimately
+// appended.
+func DumpOrder(patterns, keys []string) (map[string][]string, error) {
+	want := map[string]bool{}
+	if len(keys) == 0 {
+		manifest, err := loadManifest()
+		if err != nil {
+			return nil, err
+		}
+		for k := range manifest.Types {
+			want[k] = true
+		}
+	} else {
+		for _, k := range keys {
+			want[k] = true
+		}
+	}
+	loaded, err := LoadPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]string{}
+	for _, cp := range loaded {
+		canon := CanonicalPkgPath(cp.PkgPath)
+		for _, f := range cp.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					key := canon + "." + ts.Name.Name
+					if !want[key] {
+						continue
+					}
+					var names []string
+					for _, wf := range wireFields(st) {
+						names = append(names, wf.name)
+					}
+					out[key] = names
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Typecheck runs go/types over parsed files with the given importer,
+// returning the package and a fully populated Info. Shared by the
+// loader, the vettool driver, and the test fixture loader.
+func Typecheck(fset *token.FileSet, files []*ast.File, path string, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newExportImporter builds an importer that resolves source import
+// paths through importMap (test variants, vendoring) and reads gc
+// export data files from exports.
+func newExportImporter(fset *token.FileSet, importMap map[string]string, exports map[string]string) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.(types.ImporterFrom).ImportFrom(path, "", 0)
+	})
+}

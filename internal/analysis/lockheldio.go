@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockHeldIOPkgs are the packages whose mutexes guard hot shared
+// state: the store's index, the fabric's peer views, the telemetry
+// registry. Every scrape, every request and every gossip round takes
+// these locks, so an HTTP round-trip or a blob-file syscall under one
+// turns a slow disk or a dead peer into a fleet-wide stall. The
+// store's own discipline (evict under the lock, unlink after
+// releasing it; snapshot under the lock, fsync outside) is the
+// pattern this analyzer enforces.
+var lockHeldIOPkgs = []string{
+	"dabench/internal/store",
+	"dabench/internal/cluster",
+	"dabench/internal/telemetry",
+}
+
+// LockHeldIO forbids HTTP round-trips and blob-file I/O while a
+// sync.Mutex or sync.RWMutex is held in the store, cluster, and
+// telemetry packages.
+//
+// The tracking is lexical and intraprocedural: a statement-ordered
+// walk marks a lock held from its Lock()/RLock() call until a textual
+// Unlock on the same receiver expression, with `defer Unlock` holding
+// it to function end. Branch-local unlocks that fall through are
+// treated conservatively (still held) — restructure or justify with a
+// //dalint:ignore. Function literals are not entered: a closure built
+// under a lock usually runs after it is released, and flagging its
+// body would make every goroutine launch a false positive.
+var LockHeldIO = &Analyzer{
+	Name: "lockheldio",
+	Doc: "no HTTP round-trips or blob file I/O while holding a " +
+		"sync.Mutex/RWMutex in store, cluster, or telemetry: these " +
+		"locks sit on every request path, so I/O under them turns a " +
+		"slow disk or dead peer into a global stall",
+	Run: runLockHeldIO,
+}
+
+// osIOFuncs are the package-level os functions that hit the disk the
+// way the store's blob paths do.
+var osIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "MkdirAll": true, "Mkdir": true, "ReadDir": true,
+	"Stat": true, "Lstat": true,
+}
+
+// httpFuncs are net/http's package-level round-trip helpers.
+var httpFuncs = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+// httpClientMethods are the round-trip methods of *http.Client.
+var httpClientMethods = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+func runLockHeldIO(pass *Pass) {
+	gated := false
+	for _, p := range lockHeldIOPkgs {
+		if pathMatches(pass.PkgPath, p) {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.walkStmts(fd.Body.List, map[string]bool{})
+		}
+	}
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// walkStmts processes one statement list in order, mutating held (a
+// set of lock receiver expressions, rendered as source text) as
+// Lock/Unlock calls appear. Nested blocks see a copy: a branch's
+// lock-state changes are local to it, which is exact for the
+// dominant patterns (lock; defer unlock) and (lock; if err { unlock;
+// return }) and conservative for everything else.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op := w.lockOp(st.X); recv != "" {
+			if op == "Lock" || op == "RLock" {
+				held[recv] = true
+			} else {
+				delete(held, recv)
+			}
+			return
+		}
+		w.checkExpr(st.X, held)
+	case *ast.DeferStmt:
+		if recv, op := w.lockOp(st.Call); recv != "" && (op == "Unlock" || op == "RUnlock") {
+			// Deferred unlock: held until return; nothing to do — the
+			// lock stays in held for the rest of the walk.
+			return
+		}
+		w.checkExpr(st.Call, held)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.checkExpr(rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.checkExpr(r, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.checkExpr(st.Cond, held)
+		w.walkStmts(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			w.walkStmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.checkExpr(st.Cond, held)
+		}
+		w.walkStmts(st.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.checkExpr(st.X, held)
+		w.walkStmts(st.Body.List, copyHeld(held))
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.checkExpr(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine runs concurrently, not under this lock.
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, held)
+	case *ast.SendStmt:
+		w.checkExpr(st.Value, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// lockOp recognizes <expr>.Lock/RLock/Unlock/RUnlock() on a
+// sync.Mutex or sync.RWMutex receiver, returning the receiver
+// expression's source text and the operation name.
+func (w *lockWalker) lockOp(e ast.Expr) (recv, op string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || funcPkgPath(fn) != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name()
+	}
+	return "", ""
+}
+
+// checkExpr flags forbidden I/O calls inside e while any lock is
+// held. Function literals are not entered (see the analyzer doc).
+func (w *lockWalker) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(w.pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		if kind := forbiddenIO(fn); kind != "" {
+			lock := ""
+			for k := range held {
+				lock = k
+				break
+			}
+			w.pass.Reportf(call.Pos(),
+				"%s while holding %s: move the %s outside the critical section (collect under the lock, act after unlocking)",
+				kind, lock, kindNoun(kind))
+		}
+		return true
+	})
+}
+
+// forbiddenIO classifies fn as "file I/O", "HTTP round-trip", or ""
+// when allowed.
+func forbiddenIO(fn *types.Func) string {
+	pkg := funcPkgPath(fn)
+	switch {
+	case pkg == "os" && osIOFuncs[fn.Name()]:
+		return "file I/O (os." + fn.Name() + ")"
+	case pkg == "net/http" && fn.Signature().Recv() == nil && httpFuncs[fn.Name()]:
+		return "HTTP round-trip (http." + fn.Name() + ")"
+	case pkg == "net/http" && fn.Signature().Recv() != nil && httpClientMethods[fn.Name()]:
+		if named, ok := derefNamed(fn.Signature().Recv().Type()); ok && named.Obj().Name() == "Client" {
+			return "HTTP round-trip (http.Client." + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+func kindNoun(kind string) string {
+	if kind[0] == 'f' {
+		return "syscall"
+	}
+	return "request"
+}
+
+// derefNamed unwraps pointers to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// MemoFault enforces PR 6's cache-poisoning rule: a fault injector's
+// Fire hook must never run inside a function literal passed to
+// memo.Cache.Do. The memo cell caches errors as final outcomes, so an
+// injected, *transient* error fired inside the memoized function
+// poisons the cell — every later caller of that key inherits a fault
+// that was supposed to heal. The production seam fires the hook
+// before Do (platform.fireCompileFault precedes c.compile.Do); this
+// analyzer keeps it there.
+//
+// The check is lexical by design: it flags Fire calls written
+// directly inside a Do closure (however deeply nested in sub-literals
+// executed synchronously by it). A Fire hidden behind a same-package
+// helper called from the closure is not traced — reviewers own that
+// residue, and the helper pattern is rare enough to read.
+var MemoFault = &Analyzer{
+	Name: "memofault",
+	Doc: "fault hooks (faults.Injector.Fire) must not fire inside a " +
+		"function literal passed to memo.Cache.Do: the cell caches " +
+		"errors, so an injected transient fault would poison the key " +
+		"for every later caller (fire before Do instead)",
+	Run: runMemoFault,
+}
+
+const (
+	memoPkg   = "dabench/internal/memo"
+	faultsPkg = "dabench/internal/faults"
+)
+
+func runMemoFault(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isCallTo(pass.Info, call, memoPkg, "Do") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					reportFiresIn(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportFiresIn flags every faults.*.Fire call lexically inside lit.
+func reportFiresIn(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCallTo(pass.Info, call, faultsPkg, "Fire") {
+			pass.Reportf(call.Pos(),
+				"fault hook fires inside a memo.Cache.Do closure: an injected error would be cached and poison the cell; fire the hook before Do")
+		}
+		return true
+	})
+}

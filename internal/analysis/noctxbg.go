@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// noCtxBgPkgs are the request-path packages: every operation in them
+// runs on behalf of an HTTP request or a lifecycle whose context the
+// caller already owns, so minting a fresh root context severs
+// cancellation — a shut-down daemon keeps gossiping, a timed-out
+// request keeps fetching. PR 9's peer-fetch lane shipped exactly that
+// bug; this analyzer makes it unshippable.
+var noCtxBgPkgs = []string{
+	"dabench/internal/server",
+	"dabench/internal/jobs",
+	"dabench/internal/cluster",
+}
+
+// NoCtxBg forbids context.Background() and context.TODO() in
+// request-path packages, where a caller's context must be threaded.
+// Lifecycle roots (a manager's own base context, cancelled on Close)
+// are the legitimate exception and carry a //dalint:ignore with the
+// reason. Test files are exempt: a test IS the root of its call tree.
+var NoCtxBg = &Analyzer{
+	Name: "noctxbg",
+	Doc: "forbid context.Background/TODO in request-path packages " +
+		"(server, jobs, cluster): thread the request or lifecycle " +
+		"context instead, so shutdown and deadlines propagate",
+	Run: runNoCtxBg,
+}
+
+func runNoCtxBg(pass *Pass) {
+	gated := false
+	for _, p := range noCtxBgPkgs {
+		if pathMatches(pass.PkgPath, p) {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [2]string{"Background", "TODO"} {
+				if isCallTo(pass.Info, call, "context", name) {
+					pass.Reportf(call.Pos(),
+						"context.%s() in request-path package %s: thread the caller's context (or //dalint:ignore noctxbg a lifecycle root with justification)",
+						name, pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+}

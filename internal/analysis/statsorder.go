@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// statsManifestJSON is the committed field-order manifest: for every
+// struct rendered onto a stable wire surface (/v1/stats, /healthz,
+// gossip), the exact JSON field sequence the fleet's CI greps and
+// dashboards were built against. The analyzer holds code and manifest
+// to exact equality, so any reorder, rename, insertion, or removal
+// fails vet — and the only way to add a field is to append it to both
+// the struct and this file, which makes the manifest's git diff the
+// append-only audit trail reviewers check.
+//
+//go:embed statsorder_manifest.json
+var statsManifestJSON []byte
+
+// StatsOrder pins the JSON field order of wire-stable structs to the
+// committed manifest (statsorder_manifest.json, embedded at build
+// time). PR 6 grew /v1/stats carefully "preserving existing CI
+// greps"; this analyzer is that sentence as a machine check.
+var StatsOrder = &Analyzer{
+	Name: "statsorder",
+	Doc: "structs rendered into /v1/stats, /healthz and gossip may " +
+		"only gain fields at the end: their JSON field order must " +
+		"exactly match the committed statsorder_manifest.json, whose " +
+		"append-only diff is the review surface",
+	Run: runStatsOrder,
+}
+
+// statsManifest is the decoded manifest: "pkgpath.TypeName" -> ordered
+// wire field names.
+type statsManifest struct {
+	Comment string              `json:"comment,omitempty"`
+	Types   map[string][]string `json:"types"`
+}
+
+var (
+	manifestOnce   sync.Once
+	manifestParsed statsManifest
+	manifestErr    error
+)
+
+func loadManifest() (statsManifest, error) {
+	manifestOnce.Do(func() {
+		manifestErr = json.Unmarshal(statsManifestJSON, &manifestParsed)
+	})
+	return manifestParsed, manifestErr
+}
+
+func runStatsOrder(pass *Pass) {
+	manifest, err := loadManifest()
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "statsorder manifest is unreadable: %v", err)
+		return
+	}
+	// Keys relevant to this package, for the stale-entry check.
+	var pkgKeys []string
+	for key := range manifest.Types {
+		pkgPath, _, ok := splitManifestKey(key)
+		if ok && pathMatches(pass.PkgPath, pkgPath) {
+			pkgKeys = append(pkgKeys, key)
+		}
+	}
+	if len(pkgKeys) == 0 {
+		return
+	}
+	sort.Strings(pkgKeys)
+	seen := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, key := range pkgKeys {
+					if _, typeName, _ := splitManifestKey(key); typeName == ts.Name.Name {
+						seen[key] = true
+						checkStructOrder(pass, ts, st, key, manifest.Types[key])
+					}
+				}
+			}
+		}
+	}
+	for _, key := range pkgKeys {
+		if !seen[key] {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"statsorder manifest lists %s but package %s declares no such struct: remove the stale entry or restore the type",
+				key, pass.PkgPath)
+		}
+	}
+}
+
+// splitManifestKey splits "pkg/path.TypeName" at the final dot.
+func splitManifestKey(key string) (pkgPath, typeName string, ok bool) {
+	i := strings.LastIndex(key, ".")
+	if i <= 0 || i == len(key)-1 {
+		return "", "", false
+	}
+	return key[:i], key[i+1:], true
+}
+
+// wireField is one JSON-serialized field with its declaration
+// position index for reporting.
+type wireField struct {
+	name string
+	pos  ast.Node
+}
+
+// wireFields computes the JSON field sequence a struct marshals to,
+// in declaration order: exported fields only, honoring json tags,
+// skipping "-". An embedded field contributes its type name prefixed
+// with "*" — its own fields are pinned by its own manifest entry.
+func wireFields(st *ast.StructType) []wireField {
+	var out []wireField
+	for _, f := range st.Fields.List {
+		tagName := ""
+		if f.Tag != nil {
+			tag := reflect.StructTag(strings.Trim(f.Tag.Value, "`"))
+			tagName, _, _ = strings.Cut(tag.Get("json"), ",")
+		}
+		if len(f.Names) == 0 { // embedded
+			name := embeddedName(f.Type)
+			if tagName != "" {
+				name = tagName
+			}
+			if name != "-" {
+				out = append(out, wireField{name: "*" + name, pos: f.Type})
+			}
+			continue
+		}
+		for _, n := range f.Names {
+			if !n.IsExported() {
+				continue
+			}
+			name := tagName
+			if name == "" {
+				name = n.Name
+			}
+			if name == "-" {
+				continue
+			}
+			out = append(out, wireField{name: name, pos: n})
+		}
+	}
+	return out
+}
+
+func embeddedName(e ast.Expr) string {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	case *ast.IndexExpr:
+		return embeddedName(t.X)
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+func checkStructOrder(pass *Pass, ts *ast.TypeSpec, st *ast.StructType, key string, want []string) {
+	got := wireFields(st)
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i].name != want[i] {
+			pass.Reportf(got[i].pos.Pos(),
+				"%s wire field %d is %q but the manifest pins %q: field order is append-only (CI greps and dashboards parse it) — new fields go at the end, with a matching append to statsorder_manifest.json",
+				key, i, got[i].name, want[i])
+			return
+		}
+	}
+	switch {
+	case len(got) < len(want):
+		pass.Reportf(ts.Name.Pos(),
+			"%s lost wire field %q (manifest pins %d fields, struct has %d): removing or hiding a stats field breaks consumers that parse by position",
+			key, want[len(got)], len(want), len(got))
+	case len(got) > len(want):
+		pass.Reportf(got[len(want)].pos.Pos(),
+			"%s gained wire field %q not yet in the manifest: append it to statsorder_manifest.json in this change so the manifest diff records the append",
+			key, got[len(want)].name)
+	}
+}

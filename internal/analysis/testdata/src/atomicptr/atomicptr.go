@@ -1,0 +1,45 @@
+// atomicptr fixtures: once a field or variable is touched by a
+// sync/atomic package-level operation, direct access anywhere else in
+// the package is a violation.
+package atomicptr
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *counter) inc() int64  { return atomic.AddInt64(&c.n, 1) }
+func (c *counter) load() int64 { return atomic.LoadInt64(&c.n) }
+
+func (c *counter) badRead() int64 { return c.n } // want `n is accessed with sync/atomic operations`
+
+func (c *counter) badWrite() { c.n = 0 } // want `n is accessed with sync/atomic operations`
+
+// hits is never accessed atomically: direct use is fine.
+func (c *counter) fine() int64 { return c.hits }
+
+// Keyed composite-literal initialization precedes publication and is
+// allowed.
+func newCounter() *counter { return &counter{n: 0, hits: 0} }
+
+var global int64
+
+func incGlobal() { atomic.AddInt64(&global, 1) }
+
+func badGlobal() int64 { return global } // want `global is accessed with sync/atomic operations`
+
+func suppressedGlobal() int64 {
+	//dalint:ignore atomicptr -- fixture: read happens before any goroutine is spawned
+	return global
+}
+
+// Typed atomics guard themselves; their method arguments are values,
+// not protected locations, so none of this is flagged.
+type typed struct{ v atomic.Int64 }
+
+func (t *typed) ok() int64 {
+	t.v.Store(1)
+	return t.v.Load()
+}

@@ -1,0 +1,34 @@
+// addrgate fixtures for the cluster package: peer-supplied addresses
+// must pass store.ValidAddr (imported from the store stub) before any
+// path derivation.
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+
+	"dabench/internal/store"
+)
+
+func fetchGuarded(dir, addr string) ([]byte, error) {
+	if !store.ValidAddr(addr) {
+		return nil, os.ErrInvalid
+	}
+	return os.ReadFile(filepath.Join(dir, addr[:2], addr))
+}
+
+func fetchBad(dir, addr string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, addr)) // want `address parameter "addr" of fetchBad reaches a filesystem path with no dominating store\.ValidAddr check`
+}
+
+// Any addr-containing name marks an address parameter.
+func adoptBad(dir, peerAddr string) error {
+	_, err := os.Stat(filepath.Join(dir, peerAddr)) // want `address parameter "peerAddr" of adoptBad reaches a filesystem path with no dominating store\.ValidAddr check`
+	return err
+}
+
+func adoptSuppressed(dir, addr string) error {
+	//dalint:ignore addrgate -- fixture: addr validated by the gossip handler before this call
+	_, err := os.Stat(filepath.Join(dir, addr))
+	return err
+}

@@ -1,0 +1,15 @@
+// Package faults is the analysistest stand-in for the real
+// dabench/internal/faults: an Injector whose Fire is the hook the
+// memofault analyzer tracks.
+package faults
+
+type Op string
+
+const (
+	OpCompile   Op = "compile"
+	OpStoreRead Op = "store.read"
+)
+
+type Injector struct{}
+
+func (in *Injector) Fire(op Op) error { return nil }

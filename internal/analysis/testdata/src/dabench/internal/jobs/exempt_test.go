@@ -1,0 +1,7 @@
+// Test files are exempt from noctxbg: a test IS the root of its call
+// tree, so minting a fresh context here must not be reported.
+package jobs
+
+import "context"
+
+func testRoot() context.Context { return context.Background() }

@@ -1,0 +1,27 @@
+// noctxbg fixtures: request-path packages must thread the caller's
+// context; fresh roots are reserved for lifecycle owners and carry a
+// justified suppression.
+package jobs
+
+import "context"
+
+func mintBad() context.Context { return context.Background() } // want `context\.Background\(\) in request-path package dabench/internal/jobs`
+
+func mintTodo() context.Context { return context.TODO() } // want `context\.TODO\(\) in request-path package dabench/internal/jobs`
+
+// threaded is the sanctioned shape: derive from the caller's context.
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// lifecycleRoot is the legitimate exception, documented in place.
+func lifecycleRoot() (context.Context, context.CancelFunc) {
+	//dalint:ignore noctxbg -- fixture lifecycle root: cancelled by the manager's Shutdown
+	return context.WithCancel(context.Background())
+}
+
+// A bare ignore with no `-- justification` does not suppress.
+func unjustified() context.Context {
+	//dalint:ignore noctxbg
+	return context.Background() // want `context\.Background\(\) in request-path package dabench/internal/jobs`
+}

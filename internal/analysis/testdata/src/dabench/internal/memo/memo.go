@@ -1,0 +1,19 @@
+// Package memo is the analysistest stand-in for the real
+// dabench/internal/memo: just enough surface (a generic Cache with
+// singleflight-shaped Do) for the memofault fixtures to type-check.
+package memo
+
+type Cache[K comparable, V any] struct{ m map[K]V }
+
+func New[K comparable, V any]() *Cache[K, V] { return &Cache[K, V]{m: map[K]V{}} }
+
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	if v, ok := c.m[key]; ok {
+		return v, nil
+	}
+	v, err := fn()
+	if err == nil {
+		c.m[key] = v
+	}
+	return v, err
+}

@@ -1,0 +1,85 @@
+// lockheldio fixtures: no HTTP round-trips or blob file I/O while a
+// sync.Mutex/RWMutex is held. The sanctioned shape is
+// collect-under-lock, act-after-unlock.
+package telemetry
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type Registry struct {
+	mu   sync.Mutex
+	vals map[string]int64
+}
+
+// DumpBad holds the lock across a file write (the deferred Unlock
+// releases at function end, so the write is inside the section).
+func (r *Registry) DumpBad(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return os.WriteFile(path, nil, 0o644) // want `file I/O \(os\.WriteFile\) while holding r\.mu`
+}
+
+// DumpOK snapshots under the lock and writes after releasing it.
+func (r *Registry) DumpOK(path string) error {
+	r.mu.Lock()
+	n := len(r.vals)
+	r.mu.Unlock()
+	_ = n
+	return os.WriteFile(path, nil, 0o644)
+}
+
+type Gauge struct{ mu sync.RWMutex }
+
+// ProbeBad makes an HTTP round-trip under an RLock.
+func (g *Gauge) ProbeBad(c *http.Client, url string) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	resp, err := c.Get(url) // want `HTTP round-trip \(http\.Client\.Get\) while holding g\.mu`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// ProbePkgBad uses the package-level helper, same violation.
+func (g *Gauge) ProbePkgBad(url string) {
+	g.mu.RLock()
+	resp, err := http.Get(url) // want `HTTP round-trip \(http\.Get\) while holding g\.mu`
+	g.mu.RUnlock()
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// BranchOK releases on the early-return path before the write: the
+// walker tracks held locks per branch.
+func (r *Registry) BranchOK(path string, cond bool) error {
+	r.mu.Lock()
+	if cond {
+		r.mu.Unlock()
+		return os.WriteFile(path, nil, 0o644)
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// AsyncOK: goroutines and function literals escape the critical
+// section's dynamic extent by the time they run, so they are not
+// entered.
+func (r *Registry) AsyncOK() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() { _ = os.Remove("x") }()
+	f := func() error { return os.Remove("x") }
+	_ = f
+}
+
+// SuppressedDump documents a cold path with the suppression form.
+func (r *Registry) SuppressedDump(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//dalint:ignore lockheldio -- fixture: shutdown-only dump, no concurrent scrapes exist
+	return os.WriteFile(path, nil, 0o644)
+}

@@ -1,0 +1,45 @@
+// memofault fixtures: Fire inside a memo.Cache.Do closure is the
+// cache-poisoning shape; firing before Do is the sanctioned one.
+package memofault
+
+import (
+	"dabench/internal/faults"
+	"dabench/internal/memo"
+)
+
+var inj *faults.Injector
+
+func bad(c *memo.Cache[string, int]) (int, error) {
+	return c.Do("k", func() (int, error) {
+		if err := inj.Fire(faults.OpCompile); err != nil { // want `fault hook fires inside a memo\.Cache\.Do closure`
+			return 0, err
+		}
+		return 1, nil
+	})
+}
+
+// nested: the hook hides one closure deeper, still inside Do's
+// dynamic extent.
+func nested(c *memo.Cache[string, int]) (int, error) {
+	return c.Do("k", func() (int, error) {
+		f := func() error { return inj.Fire(faults.OpStoreRead) } // want `fault hook fires inside a memo\.Cache\.Do closure`
+		return 1, f()
+	})
+}
+
+// good is the production pattern: evaluate the fault rules before
+// entering the cell, so an injected error is returned, not memoized.
+func good(c *memo.Cache[string, int]) (int, error) {
+	if err := inj.Fire(faults.OpCompile); err != nil {
+		return 0, err
+	}
+	return c.Do("k", func() (int, error) { return 1, nil })
+}
+
+// suppressed: the justification comment is the escape hatch.
+func suppressed(c *memo.Cache[string, int]) (int, error) {
+	return c.Do("k", func() (int, error) {
+		//dalint:ignore memofault -- fixture: this cell memoizes fault decisions on purpose
+		return 0, inj.Fire(faults.OpCompile)
+	})
+}

@@ -1,0 +1,41 @@
+// statsorder fixtures: wire-stable structs are held to exact field
+// order against statsorder_manifest.json (the fixture entries live in
+// the same manifest as the real ones, under the "statsorder." prefix).
+package statsorder // want `statsorder manifest lists statsorder\.GoneType but package statsorder declares no such struct`
+
+// WireStats matches its manifest entry exactly: unexported and
+// json:"-" fields are not part of the wire surface.
+type WireStats struct {
+	InFlight int64   `json:"in_flight"`
+	Served   int64   `json:"served"`
+	Uptime   float64 `json:"uptime_sec"`
+	hidden   int
+	Skipped  int `json:"-"`
+}
+
+var _ = WireStats{hidden: 0}
+
+// DriftStats swaps the manifest's first two fields.
+type DriftStats struct {
+	InFlight int64 `json:"in_flight"` // want `statsorder\.DriftStats wire field 0 is "in_flight" but the manifest pins "served"`
+	Served   int64 `json:"served"`
+}
+
+// GrownStats appended a field without the matching manifest append.
+type GrownStats struct {
+	A int `json:"a"`
+	B int `json:"b"` // want `statsorder\.GrownStats gained wire field "b" not yet in the manifest`
+}
+
+// ShrunkStats dropped a field the manifest still pins.
+type ShrunkStats struct { // want `statsorder\.ShrunkStats lost wire field "b" \(manifest pins 2 fields, struct has 1\)`
+	A int `json:"a"`
+}
+
+// Suppressed shows the escape hatch for a deliberate (fixture-only)
+// divergence.
+type Suppressed struct {
+	//dalint:ignore statsorder -- fixture: divergence is the point of this type
+	B int `json:"b"`
+	A int `json:"a"`
+}

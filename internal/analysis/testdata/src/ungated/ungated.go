@@ -1,0 +1,7 @@
+// Package ungated pins the noctxbg gate itself: the same violating
+// shape outside the request-path packages reports nothing.
+package ungated
+
+import "context"
+
+func Mint() context.Context { return context.Background() }

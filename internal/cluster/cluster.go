@@ -176,6 +176,14 @@ type Fabric struct {
 	chunkTimeout   time.Duration
 	deadThreshold  int
 
+	// baseCtx is the fabric's lifecycle root: every peer call made on
+	// the fabric's own behalf (gossip probes, the store-seam blob
+	// fetches that have no request context to thread) derives from it,
+	// and Close cancels it — shutdown kills in-flight peer I/O instead
+	// of waiting out timeouts.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	fetchHits, fetchMisses, fetchErrors atomic.Int64
 	adoptions                           atomic.Int64
 	remoteChunks, reassignedChunks      atomic.Int64
@@ -220,6 +228,8 @@ func New(cfg Config) (*Fabric, error) {
 		deadThreshold:  threshold,
 		done:           make(chan struct{}),
 	}
+	//dalint:ignore noctxbg -- the fabric's lifecycle root: cancelled in Close, every peer call derives from it
+	f.baseCtx, f.cancel = context.WithCancel(context.Background())
 	if f.client == nil {
 		f.client = &http.Client{}
 	}
@@ -274,7 +284,7 @@ func (f *Fabric) Start() {
 			for {
 				select {
 				case <-t.C:
-					ctx, cancel := context.WithTimeout(context.Background(), f.fetchTimeout)
+					ctx, cancel := context.WithTimeout(f.baseCtx, f.fetchTimeout)
 					f.GossipOnce(ctx)
 					cancel()
 				case <-f.done:
@@ -292,6 +302,7 @@ func (f *Fabric) Close() {
 	}
 	f.closeOnce.Do(func() {
 		close(f.done)
+		f.cancel()
 		f.wg.Wait()
 	})
 }

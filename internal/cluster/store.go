@@ -1,8 +1,6 @@
 package cluster
 
 import (
-	"context"
-
 	"dabench/internal/platform"
 	"dabench/internal/store"
 )
@@ -40,8 +38,12 @@ func (fs *FabricStore) fetchAdopt(platformName, specKey string) (platform.Stored
 	if fs.fabric == nil {
 		return platform.Stored{}, nil, false
 	}
+	// The platform.ResultStore seam carries no request context, so the
+	// fetch runs under the fabric's lifecycle root: still bounded by
+	// FetchTimeout per peer, and cancelled the moment the fabric
+	// closes — a draining daemon no longer leaks peer fetches.
 	addr := store.Address(platformName, specKey)
-	data, _, ok := fs.fabric.FetchFrame(context.Background(), addr)
+	data, _, ok := fs.fabric.FetchFrame(fs.fabric.baseCtx, addr)
 	if !ok {
 		return platform.Stored{}, nil, false
 	}

@@ -201,6 +201,7 @@ func Open(cfg Config) (*Manager, error) {
 		cfg:  cfg,
 		jobs: map[string]*job{},
 	}
+	//dalint:ignore noctxbg -- the manager's lifecycle root: cancelled by Shutdown, and every job context derives from it
 	m.baseCtx, m.shutdown = context.WithCancel(context.Background())
 
 	var revived []*job
